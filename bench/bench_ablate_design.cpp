@@ -1,0 +1,111 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   (a) combiner on/off — why WordCount shuffles kilobytes, not GB;
+//   (b) spill-buffer size sweep — the io.sort.mb knob behind the
+//       block-size cliffs;
+//   (c) MLP/OoO overlap — how much of the Xeon advantage is latency
+//       hiding rather than width;
+//   (d) map-output compression — TeraSort's tuning, quantified.
+#include "bench_common.hpp"
+#include "mapreduce/engine.hpp"
+
+using namespace bvl;
+
+namespace {
+
+void ablate_combiner() {
+  bench::print_header("Ablation A - combiner on/off (WordCount, 1 GB, 512 MB blocks)",
+                      "engine design choice");
+  TextTable t({"combiner", "server", "total[s]", "shuffle[MB]", "EDP"});
+  for (bool comb : {true, false}) {
+    core::RunSpec s;
+    s.workload = wl::WorkloadId::kWordCount;
+    s.input_size = 1 * GB;
+    s.use_combiner = comb;
+    for (const auto& server : arch::paper_servers()) {
+      perf::RunResult r = bench::characterizer().run(s, server);
+      double shuffle = bench::characterizer().trace(s).reduce_total().shuffle_bytes;
+      t.add_row({comb ? "on" : "off", server.name, fmt_fixed(r.total_time(), 1),
+                 fmt_fixed(shuffle / 1e6, 1), fmt_sci(bench::edp(r))});
+    }
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\n");
+}
+
+void ablate_spill_buffer() {
+  bench::print_header("Ablation B - spill buffer (io.sort.mb) sweep (Sort on Atom)",
+                      "engine design choice");
+  TextTable t({"buffer", "spills/task", "device[GB]", "total[s]"});
+  mr::Engine engine;
+  for (Bytes buf : {32 * MB, 64 * MB, 100 * MB, 200 * MB, 400 * MB}) {
+    auto def = wl::make_workload(wl::WorkloadId::kSort);
+    mr::JobConfig cfg;
+    cfg.input_size = 1 * GB;
+    cfg.block_size = 512 * MB;
+    cfg.spill_buffer = buf;
+    cfg.sim_scale = 64.0;
+    mr::JobTrace trace = engine.run(*def, cfg);
+    perf::PerfModel atom(arch::atom_c2758());
+    perf::RunResult r = atom.price(trace, 1.8 * GHz, 4);
+    auto m = trace.map_total();
+    t.add_row({bench::block_label(buf),
+               fmt_fixed(m.spills / static_cast<double>(trace.num_map_tasks()), 1),
+               fmt_fixed(m.total_disk_bytes() / 1e9, 2), fmt_fixed(r.total_time(), 1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\n");
+}
+
+void ablate_mlp() {
+  bench::print_header("Ablation C - memory-level-parallelism hiding (NB map signature)",
+                      "core-model design choice");
+  TextTable t({"mlp_hide", "Xeon IPC", "Atom-width IPC", "gap"});
+  const auto& sig = perf::calibration_for("NaiveBayes").map_sig;
+  for (double hide : {0.0, 0.3, 0.62, 0.8}) {
+    arch::ServerConfig xeon = arch::xeon_e5_2420();
+    xeon.core.mlp_hide = hide;
+    arch::ServerConfig narrow = xeon;  // same machine, little-core width
+    narrow.core.issue_width = 2;
+    narrow.core.out_of_order = false;
+    narrow.core.mlp_hide = hide * 0.5;
+    double ipc_x = xeon.make_core_model().ipc(sig, 4e6, 1.8 * GHz);
+    double ipc_n = narrow.make_core_model().ipc(sig, 4e6, 1.8 * GHz);
+    t.add_row({fmt_fixed(hide, 2), fmt_fixed(ipc_x, 2), fmt_fixed(ipc_n, 2),
+               fmt_fixed(ipc_x / ipc_n, 2)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\n");
+}
+
+void ablate_compression() {
+  bench::print_header("Ablation D - map-output compression (TeraSort, 1 GB)",
+                      "mapreduce.map.output.compress");
+  TextTable t({"compress", "server", "map io[s]", "net[s]", "total[s]"});
+  mr::Engine engine;
+  for (bool on : {true, false}) {
+    auto def = wl::make_workload(wl::WorkloadId::kTeraSort);
+    mr::JobConfig cfg;
+    cfg.input_size = 1 * GB;
+    cfg.block_size = 512 * MB;
+    cfg.sim_scale = 64.0;
+    mr::JobTrace trace = engine.run(*def, cfg);
+    trace.config.compress_map_output = on;
+    for (const auto& server : arch::paper_servers()) {
+      perf::PerfModel model(server);
+      perf::RunResult r = model.price(trace, 1.8 * GHz, 4);
+      t.add_row({on ? "on" : "off", server.name, fmt_fixed(r.map.io_time, 1),
+                 fmt_fixed(r.reduce.net_time, 1), fmt_fixed(r.total_time(), 1)});
+    }
+  }
+  std::fputs(t.render().c_str(), stdout);
+}
+
+}  // namespace
+
+int main() {
+  ablate_combiner();
+  ablate_spill_buffer();
+  ablate_mlp();
+  ablate_compression();
+  return 0;
+}

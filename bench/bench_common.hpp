@@ -1,0 +1,52 @@
+// Shared helpers for the per-figure bench binaries. Each binary
+// regenerates one table/figure of the paper: same rows/series, printed
+// as an aligned text table (units are simulator seconds/joules; the
+// paper-facing quantity is the shape, see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/characterizer.hpp"
+#include "core/classifier.hpp"
+#include "core/cost_model.hpp"
+#include "core/metrics.hpp"
+#include "util/table.hpp"
+
+namespace bvl::bench {
+
+inline core::Characterizer& characterizer() {
+  static core::Characterizer ch;
+  return ch;
+}
+
+inline std::vector<Bytes> micro_block_sweep() {
+  return {32 * MB, 64 * MB, 128 * MB, 256 * MB, 512 * MB};
+}
+
+/// Real-world apps start at 64 MB (Sec. 3.1.1: 32 MB ruled out).
+inline std::vector<Bytes> real_block_sweep() {
+  return {64 * MB, 128 * MB, 256 * MB, 512 * MB};
+}
+
+inline Bytes default_input(wl::WorkloadId id) {
+  bool real = id == wl::WorkloadId::kNaiveBayes || id == wl::WorkloadId::kFpGrowth;
+  return real ? 10 * GB : 1 * GB;  // Sec. 3: 1 GB micro / 10 GB real per node
+}
+
+inline double edp(const perf::PhaseResult& p) { return p.energy * p.time; }
+inline double edp(const perf::RunResult& r) { return r.total_energy() * r.total_time(); }
+
+inline std::string block_label(Bytes b) { return fmt_num(to_mb(b)) + "MB"; }
+inline std::string freq_label(Hertz f) { return fmt_fixed(f / GHz, 1) + "GHz"; }
+
+inline void print_header(const std::string& title, const std::string& paper_ref,
+                         const std::string& notes = "") {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  if (!notes.empty()) std::printf("%s\n", notes.c_str());
+  std::printf("\n");
+}
+
+}  // namespace bvl::bench

@@ -1,0 +1,66 @@
+// google-benchmark microbenchmarks of the simulator itself: engine
+// throughput per workload, cache-simulator access rate, pricing cost.
+// These guard the harness's own performance (the figure benches rerun
+// hundreds of priced sweeps).
+#include <benchmark/benchmark.h>
+
+#include "arch/cache_sim.hpp"
+#include "mapreduce/engine.hpp"
+#include "perf/perf_model.hpp"
+#include "util/rng.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace bvl;
+
+void BM_EngineRun(benchmark::State& state) {
+  auto id = wl::all_workloads()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto def = wl::make_workload(id);
+    mr::Engine engine;
+    mr::JobConfig cfg;
+    cfg.input_size = 8 * MB;
+    cfg.block_size = 2 * MB;
+    cfg.spill_buffer = 1 * MB;
+    mr::JobTrace t = engine.run(*def, cfg);
+    benchmark::DoNotOptimize(t.map_total().emits);
+  }
+  state.SetLabel(wl::long_name(id));
+}
+BENCHMARK(BM_EngineRun)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+void BM_CacheSimAccess(benchmark::State& state) {
+  arch::CacheLevelConfig cfg{.name = "L2",
+                             .capacity = 256 * KB,
+                             .associativity = 8,
+                             .line_bytes = 64,
+                             .hit_cycles = 12,
+                             .sharer_group = 1};
+  arch::CacheSim sim(cfg);
+  Pcg32 rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.access(rng.uniform(0, 4 * MB)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheSimAccess);
+
+void BM_PriceTrace(benchmark::State& state) {
+  auto def = wl::make_workload(wl::WorkloadId::kWordCount);
+  mr::Engine engine;
+  mr::JobConfig cfg;
+  cfg.input_size = 16 * MB;
+  cfg.block_size = 4 * MB;
+  cfg.spill_buffer = 2 * MB;
+  mr::JobTrace trace = engine.run(*def, cfg);
+  perf::PerfModel model(arch::xeon_e5_2420());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.price(trace, 1.8 * GHz, 4).total_time());
+  }
+}
+BENCHMARK(BM_PriceTrace);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Fig. 1: IPC of SPEC, PARSEC and Hadoop applications on the little
+// (Atom) and big (Xeon) core.
+#include "baselines/proxy.hpp"
+#include "baselines/suite.hpp"
+#include "bench_common.hpp"
+
+using namespace bvl;
+
+int main() {
+  bench::print_header("Fig. 1 - IPC of SPEC, PARSEC and Hadoop on little/big core",
+                      "Sec. 2.1, Fig. 1");
+
+  auto servers = arch::paper_servers();
+  TextTable t({"suite", "Atom IPC", "Xeon IPC", "Xeon/Atom"});
+
+  auto add_suite = [&](const std::string& name, const std::vector<base::ProxyKernel>& suite) {
+    double ipc_a = base::run_suite(name, suite, arch::atom_c2758(), 1.8 * GHz).mean_ipc();
+    double ipc_x = base::run_suite(name, suite, arch::xeon_e5_2420(), 1.8 * GHz).mean_ipc();
+    t.add_row({name, fmt_fixed(ipc_a, 2), fmt_fixed(ipc_x, 2), fmt_fixed(ipc_x / ipc_a, 2)});
+    return std::pair{ipc_a, ipc_x};
+  };
+
+  auto [spec_a, spec_x] = add_suite("Avg_Spec", base::spec_suite());
+  add_suite("Avg_Parsec", base::parsec_suite());
+
+  double hadoop_a = 0, hadoop_x = 0;
+  for (auto id : wl::all_workloads()) {
+    core::RunSpec s;
+    s.workload = id;
+    s.input_size = bench::default_input(id);
+    auto [xeon, atom] = bench::characterizer().run_pair(s);
+    hadoop_a += atom.whole().avg_ipc;
+    hadoop_x += xeon.whole().avg_ipc;
+  }
+  hadoop_a /= static_cast<double>(wl::all_workloads().size());
+  hadoop_x /= static_cast<double>(wl::all_workloads().size());
+  t.add_row({"Avg_Hadoop", fmt_fixed(hadoop_a, 2), fmt_fixed(hadoop_x, 2),
+             fmt_fixed(hadoop_x / hadoop_a, 2)});
+
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\npaper: Hadoop IPC ~2.16x below SPEC on big core, ~1.55x on little;\n");
+  std::printf("measured: %.2fx below on big, %.2fx on little\n", spec_x / hadoop_x,
+              spec_a / hadoop_a);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 3: execution time of the Hadoop micro-benchmarks across HDFS
+// block size {32..512 MB} x frequency {1.2..1.8 GHz} on Xeon and Atom
+// (1 GB per node).
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+using namespace bvl;
+
+int main() {
+  bench::print_header("Fig. 3 - micro-benchmark execution time vs block size x frequency",
+                      "Sec. 3.1.1, Fig. 3", "values: seconds; 1 GB/node");
+
+  for (const auto& server : arch::paper_servers()) {
+    std::printf("--- %s ---\n", server.name.c_str());
+    std::vector<std::string> headers{"app"};
+    for (Hertz f : arch::paper_frequency_sweep())
+      for (Bytes b : bench::micro_block_sweep())
+        headers.push_back(bench::freq_label(f) + "/" + bench::block_label(b));
+    TextTable t(headers);
+    for (auto id : wl::micro_benchmarks()) {
+      std::vector<std::string> row{wl::short_name(id)};
+      for (Hertz f : arch::paper_frequency_sweep()) {
+        for (Bytes b : bench::micro_block_sweep()) {
+          core::RunSpec s;
+          s.workload = id;
+          s.input_size = 1 * GB;
+          s.block_size = b;
+          s.freq = f;
+          row.push_back(fmt_fixed(bench::characterizer().run(s, server).total_time(), 1));
+        }
+      }
+      t.add_row(std::move(row));
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  // Summary stats quoted in the text.
+  TextTable s({"app", "Atom/Xeon (mean over sweep)", "Xeon freq gain", "Atom freq gain"});
+  for (auto id : wl::micro_benchmarks()) {
+    Accumulator ratio;
+    for (Hertz f : arch::paper_frequency_sweep()) {
+      for (Bytes b : bench::micro_block_sweep()) {
+        core::RunSpec spec;
+        spec.workload = id;
+        spec.input_size = 1 * GB;
+        spec.block_size = b;
+        spec.freq = f;
+        auto [xeon, atom] = bench::characterizer().run_pair(spec);
+        ratio.add(atom.total_time() / xeon.total_time());
+      }
+    }
+    core::RunSpec lo, hi;
+    lo.workload = hi.workload = id;
+    lo.input_size = hi.input_size = 1 * GB;
+    lo.freq = 1.2 * GHz;
+    hi.freq = 1.8 * GHz;
+    auto fx = [&](const arch::ServerConfig& sv) {
+      double tl = bench::characterizer().run(lo, sv).total_time();
+      double th = bench::characterizer().run(hi, sv).total_time();
+      return 100.0 * (1.0 - th / tl);
+    };
+    s.add_row({wl::short_name(id), fmt_fixed(ratio.mean(), 2) + "x",
+               fmt_fixed(fx(arch::xeon_e5_2420()), 1) + "%",
+               fmt_fixed(fx(arch::atom_c2758()), 1) + "%"});
+  }
+  std::fputs(s.render().c_str(), stdout);
+  std::printf("\npaper: WC 1.74x, ST 15.4x, GP 1.39x, TS 1.57x mean Atom/Xeon gaps\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 4: execution time of the real-world applications (NB, FP)
+// across HDFS block size {64..512 MB} x frequency, 10 GB per node.
+#include "bench_common.hpp"
+
+using namespace bvl;
+
+int main() {
+  bench::print_header("Fig. 4 - real-world application execution time vs block size x frequency",
+                      "Sec. 3.1.1, Fig. 4", "values: seconds; 10 GB/node");
+
+  for (const auto& server : arch::paper_servers()) {
+    std::printf("--- %s ---\n", server.name.c_str());
+    std::vector<std::string> headers{"app"};
+    for (Hertz f : arch::paper_frequency_sweep())
+      for (Bytes b : bench::real_block_sweep())
+        headers.push_back(bench::freq_label(f) + "/" + bench::block_label(b));
+    TextTable t(headers);
+    for (auto id : wl::real_world_apps()) {
+      std::vector<std::string> row{wl::short_name(id)};
+      for (Hertz f : arch::paper_frequency_sweep()) {
+        for (Bytes b : bench::real_block_sweep()) {
+          core::RunSpec s;
+          s.workload = id;
+          s.input_size = 10 * GB;
+          s.block_size = b;
+          s.freq = f;
+          row.push_back(fmt_fixed(bench::characterizer().run(s, server).total_time(), 0));
+        }
+      }
+      t.add_row(std::move(row));
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("\n");
+  }
+  std::printf(
+      "paper shape: 64 MB (the default) is not optimal; block sizes up to 256 MB\n"
+      "reduce execution time, beyond that the effect is negligible for these\n"
+      "compute-intensive applications.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figs. 10 & 11: normalized execution-time breakdown (map / reduce /
+// others) plus total time across input data sizes {1, 10, 20 GB} per
+// node on both servers (Fig. 10: WC, TS; Fig. 11: NB, FP).
+#include "bench_common.hpp"
+
+using namespace bvl;
+
+int main() {
+  bench::print_header("Figs. 10-11 - execution breakdown and total vs input data size",
+                      "Sec. 3.3, Figs. 10 and 11", "512 MB blocks, 1.8 GHz");
+
+  TextTable t({"app", "server", "data", "map%", "reduce%", "others%", "total[s]"});
+  std::vector<wl::WorkloadId> apps{wl::WorkloadId::kWordCount, wl::WorkloadId::kTeraSort,
+                                   wl::WorkloadId::kNaiveBayes, wl::WorkloadId::kFpGrowth};
+  for (auto id : apps) {
+    for (const auto& server : arch::paper_servers()) {
+      for (Bytes d : {1 * GB, 10 * GB, 20 * GB}) {
+        core::RunSpec s;
+        s.workload = id;
+        s.input_size = d;
+        perf::RunResult r = bench::characterizer().run(s, server);
+        double total = r.total_time();
+        t.add_row({wl::short_name(id), server.name, fmt_num(to_gb(d)) + "GB",
+                   fmt_fixed(100 * r.map.time / total, 1), fmt_fixed(100 * r.reduce.time / total, 1),
+                   fmt_fixed(100 * r.other.time / total, 1), fmt_fixed(total, 1)});
+      }
+    }
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf("\n1GB -> 20GB growth factors (paper: Atom grows more than Xeon):\n");
+  TextTable g({"app", "Xeon growth", "Atom growth"});
+  for (auto id : wl::all_workloads()) {
+    core::RunSpec s1, s20;
+    s1.workload = s20.workload = id;
+    s1.input_size = 1 * GB;
+    s20.input_size = 20 * GB;
+    auto [x1, a1] = bench::characterizer().run_pair(s1);
+    auto [x20, a20] = bench::characterizer().run_pair(s20);
+    g.add_row({wl::short_name(id), fmt_fixed(x20.total_time() / x1.total_time(), 2) + "x",
+               fmt_fixed(a20.total_time() / a1.total_time(), 2) + "x"});
+  }
+  std::fputs(g.render().c_str(), stdout);
+  std::printf("\npaper: GP 10.15x/3.45x, WC 7.75x/7.75x, TS 27.15x/26.07x,\n"
+              "NB 8.59x/7.22x, FP 7.97x/5.96x (Atom/Xeon growth, 1->20GB)\n");
+  return 0;
+}

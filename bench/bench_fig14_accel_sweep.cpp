@@ -1,0 +1,58 @@
+// Fig. 14: speedup of Atom vs Xeon before and after acceleration —
+// Eq. (1)'s ratio as the mapper acceleration factor sweeps 1x..100x.
+#include "accel/fpga.hpp"
+#include "bench_common.hpp"
+
+using namespace bvl;
+
+namespace {
+double transfer_bytes_for(const mr::JobTrace& trace) {
+  // Map input plus map output cross the CPU<->FPGA link.
+  auto m = trace.map_total();
+  return m.input_bytes + m.emit_bytes;
+}
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 14 - post-acceleration Atom-vs-Xeon speedup ratio (Eq. 1)",
+                      "Sec. 3.4, Fig. 14",
+                      "< 1: acceleration weakens the case for migrating to Xeon");
+
+  std::vector<double> sweep{1, 2, 5, 10, 20, 40, 60, 80, 100};
+  std::vector<std::string> headers{"app"};
+  for (double x : sweep) headers.push_back(fmt_num(x) + "x");
+  TextTable t(headers);
+
+  accel::MapAccelerator fpga;
+  for (auto id : wl::all_workloads()) {
+    core::RunSpec s;
+    s.workload = id;
+    s.input_size = bench::default_input(id);
+    auto [xeon, atom] = bench::characterizer().run_pair(s);
+    double bytes = transfer_bytes_for(bench::characterizer().trace(s));
+
+    std::vector<std::string> row{wl::short_name(id)};
+    for (double x : sweep) {
+      accel::AccelResult aa = fpga.accelerate(atom, x, bytes);
+      accel::AccelResult ax = fpga.accelerate(xeon, x, bytes);
+      row.push_back(fmt_fixed(accel::speedup_ratio(atom, xeon, aa, ax), 2));
+    }
+    t.add_row(std::move(row));
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  std::printf("\nmap-phase hotspot share (offload candidate selection):\n");
+  TextTable h({"app", "map share Xeon", "map share Atom"});
+  for (auto id : wl::all_workloads()) {
+    core::RunSpec s;
+    s.workload = id;
+    s.input_size = bench::default_input(id);
+    auto [xeon, atom] = bench::characterizer().run_pair(s);
+    h.add_row({wl::short_name(id), fmt_fixed(accel::map_hotspot_fraction(xeon), 2),
+               fmt_fixed(accel::map_hotspot_fraction(atom), 2)});
+  }
+  std::fputs(h.render().c_str(), stdout);
+  std::printf("\npaper shape: every ratio < 1 beyond ~1x; the effect is weakest for the\n"
+              "applications whose map phase is the smallest share (TS, GP).\n");
+  return 0;
+}

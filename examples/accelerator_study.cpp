@@ -1,0 +1,62 @@
+// Accelerator study: should the post-acceleration host be a big or a
+// little core? Offload a workload's map phase to a modeled FPGA at a
+// chosen speedup and compare the CPU-side residue on Xeon vs Atom —
+// the paper's Section 3.4 question, as an interactive tool.
+//
+//   $ ./accelerator_study [workload] [accel_factor]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "accel/fpga.hpp"
+#include "core/characterizer.hpp"
+#include "util/table.hpp"
+
+using namespace bvl;
+
+int main(int argc, char** argv) {
+  std::string app = argc > 1 ? argv[1] : "WC";
+  double factor = argc > 2 ? std::atof(argv[2]) : 20.0;
+
+  wl::WorkloadId id = wl::WorkloadId::kWordCount;
+  for (auto w : wl::all_workloads())
+    if (wl::short_name(w) == app || wl::long_name(w) == app) id = w;
+
+  core::Characterizer ch;
+  core::RunSpec spec;
+  spec.workload = id;
+  spec.input_size = 1 * GB;
+  auto [xeon, atom] = ch.run_pair(spec);
+  auto m = ch.trace(spec).map_total();
+  double transfer = m.input_bytes + m.emit_bytes;
+
+  std::printf("== FPGA offload study: %s, %.0fx mapper acceleration ==\n\n",
+              wl::long_name(id).c_str(), factor);
+  std::printf("hotspot: map phase is %.0f%% of the Xeon run, %.0f%% of the Atom run\n",
+              100 * accel::map_hotspot_fraction(xeon), 100 * accel::map_hotspot_fraction(atom));
+  std::printf("CPU<->FPGA transfer volume: %.2f GB\n\n", transfer / 1e9);
+
+  accel::MapAccelerator fpga;
+  TextTable t({"server", "map before[s]", "cpu residue[s]", "fpga[s]", "transfer[s]",
+               "map after[s]", "app after[s]", "map speedup"});
+  accel::AccelResult ax = fpga.accelerate(xeon, factor, transfer);
+  accel::AccelResult aa = fpga.accelerate(atom, factor, transfer);
+  for (const auto& [r, a] : {std::pair{&xeon, &ax}, std::pair{&atom, &aa}}) {
+    t.add_row({r->server, fmt_fixed(r->map.time, 1), fmt_fixed(a->time_cpu, 1),
+               fmt_fixed(a->time_fpga, 1), fmt_fixed(a->time_trans, 1),
+               fmt_fixed(a->map_after, 1), fmt_fixed(a->app_after, 1),
+               fmt_fixed(a->map_speedup, 1) + "x"});
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  double ratio = accel::speedup_ratio(atom, xeon, aa, ax);
+  std::printf("\nEq. (1) speedup ratio (after/before acceleration): %.2f\n", ratio);
+  std::printf("before acceleration, migrating Atom->Xeon gains %.2fx;\n",
+              atom.total_time() / xeon.total_time());
+  std::printf("after acceleration it gains only %.2fx.\n", aa.app_after / ax.app_after);
+  if (ratio < 1.0)
+    std::printf(
+        "verdict: the accelerator absorbs the work the big core was best at — the\n"
+        "little core becomes the more energy-efficient host for the residue.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "accel/fpga.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bvl::accel {
+
+double map_hotspot_fraction(const perf::RunResult& run) {
+  Seconds total = run.total_time();
+  if (total <= 0) return 0.0;
+  return run.map.time / total;
+}
+
+MapAccelerator::MapAccelerator(FpgaConfig cfg) : cfg_(cfg) {
+  require(cfg_.link_gbps > 0, "MapAccelerator: non-positive link rate");
+  require(cfg_.offloadable_fraction > 0 && cfg_.offloadable_fraction <= 1.0,
+          "MapAccelerator: offloadable fraction out of (0,1]");
+}
+
+AccelResult MapAccelerator::accelerate(const perf::RunResult& run, double accel_factor,
+                                       double transfer_bytes) const {
+  require(accel_factor >= 1.0, "MapAccelerator: acceleration factor below 1x");
+  require(transfer_bytes >= 0.0, "MapAccelerator: negative transfer volume");
+
+  AccelResult r;
+  Seconds t_map = run.map.time;
+  r.time_cpu = (1.0 - cfg_.offloadable_fraction) * t_map;
+  r.time_fpga = cfg_.offloadable_fraction * t_map / accel_factor;
+  r.time_trans = cfg_.setup_s + transfer_bytes / (cfg_.link_gbps * 1e9 / 8.0);
+  r.map_after = r.time_cpu + r.time_fpga + r.time_trans;
+  // Acceleration cannot make the phase slower than leaving it on the
+  // CPU; a rational scheduler would decline the offload.
+  r.map_after = std::min(r.map_after, t_map);
+  r.app_after = r.map_after + run.reduce.time + run.other.time;
+  r.map_speedup = t_map > 0 ? t_map / r.map_after : 1.0;
+  return r;
+}
+
+double speedup_ratio(const perf::RunResult& atom_run, const perf::RunResult& xeon_run,
+                     const AccelResult& atom_acc, const AccelResult& xeon_acc) {
+  require(xeon_run.total_time() > 0 && xeon_acc.app_after > 0,
+          "speedup_ratio: zero Xeon time");
+  double before = atom_run.total_time() / xeon_run.total_time();
+  double after = atom_acc.app_after / xeon_acc.app_after;
+  require(before > 0, "speedup_ratio: zero before-acceleration ratio");
+  return after / before;
+}
+
+}  // namespace bvl::accel

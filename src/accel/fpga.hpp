@@ -1,0 +1,64 @@
+// FPGA map-phase offload model (Sec. 3.4).
+//
+// The paper does not deploy an FPGA; it models offloading the hotspot
+// map phase and sweeps the acceleration rate 1x-100x:
+//   t_map_after = time_cpu + time_fpga + time_trans
+// where time_cpu is the residual software part, time_fpga the
+// offloaded part divided by the acceleration factor, and time_trans
+// the CPU<->FPGA transfer at the link rate. We implement the same
+// model plus the hotspot analysis that selects the map phase and
+// Eq. (1)'s post-acceleration Atom-vs-Xeon speedup ratio.
+#pragma once
+
+#include "perf/perf_model.hpp"
+#include "util/units.hpp"
+
+namespace bvl::accel {
+
+struct FpgaConfig {
+  /// Effective CPU<->FPGA link rate (PCIe Gen2 x4-class by default).
+  double link_gbps = 2.0;
+  /// Fraction of the map phase's CPU work that maps onto the fabric;
+  /// the rest (record readers, framework glue) stays on the CPU.
+  double offloadable_fraction = 0.85;
+  /// Per-job reconfiguration/DMA setup cost.
+  Seconds setup_s = 0.5;
+};
+
+struct AccelResult {
+  Seconds time_cpu = 0;    ///< residual software map time
+  Seconds time_fpga = 0;   ///< fabric execution time
+  Seconds time_trans = 0;  ///< CPU<->FPGA transfer time
+  Seconds map_after = 0;   ///< accelerated map phase wall time
+  Seconds app_after = 0;   ///< whole-application wall time after offload
+  double map_speedup = 0;  ///< t_map_before / map_after
+};
+
+/// Hotspot share: fraction of total run time spent in the map phase
+/// (the paper's criterion for offloading map: "in most of the studied
+/// applications, the map function accounts for more than half").
+double map_hotspot_fraction(const perf::RunResult& run);
+
+class MapAccelerator {
+ public:
+  explicit MapAccelerator(FpgaConfig cfg = {});
+
+  /// Applies an `accel_factor`x fabric speedup to the run's map
+  /// phase. `transfer_bytes` is the map input+output volume that
+  /// crosses the link.
+  AccelResult accelerate(const perf::RunResult& run, double accel_factor,
+                         double transfer_bytes) const;
+
+  const FpgaConfig& config() const { return cfg_; }
+
+ private:
+  FpgaConfig cfg_;
+};
+
+/// Eq. (1): (t_atom / t_xeon for the post-acceleration code) divided
+/// by (t_atom / t_xeon for the entire unaccelerated application).
+/// < 1 means acceleration weakens the case for migrating to Xeon.
+double speedup_ratio(const perf::RunResult& atom_run, const perf::RunResult& xeon_run,
+                     const AccelResult& atom_acc, const AccelResult& xeon_acc);
+
+}  // namespace bvl::accel

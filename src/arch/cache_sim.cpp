@@ -1,0 +1,81 @@
+#include "arch/cache_sim.hpp"
+
+#include "util/error.hpp"
+
+namespace bvl::arch {
+
+namespace {
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+CacheSim::CacheSim(const CacheLevelConfig& cfg)
+    : line_bytes_(cfg.line_bytes), assoc_(cfg.associativity) {
+  require(cfg.capacity > 0, "CacheSim: zero capacity");
+  require(assoc_ > 0, "CacheSim: zero associativity");
+  require(is_pow2(static_cast<std::uint64_t>(line_bytes_)), "CacheSim: line size must be pow2");
+  std::uint64_t lines = cfg.capacity / static_cast<Bytes>(line_bytes_);
+  require(lines >= static_cast<std::uint64_t>(assoc_), "CacheSim: capacity < one set");
+  num_sets_ = static_cast<int>(lines / static_cast<std::uint64_t>(assoc_));
+  require(num_sets_ > 0, "CacheSim: no sets");
+  ways_.resize(static_cast<std::size_t>(num_sets_) * static_cast<std::size_t>(assoc_));
+}
+
+bool CacheSim::access(std::uint64_t address) {
+  ++accesses_;
+  ++clock_;
+  std::uint64_t line = address / static_cast<std::uint64_t>(line_bytes_);
+  auto set = static_cast<std::size_t>(line % static_cast<std::uint64_t>(num_sets_));
+  std::uint64_t tag = line / static_cast<std::uint64_t>(num_sets_);
+  Way* base = &ways_[set * static_cast<std::size_t>(assoc_)];
+
+  Way* victim = base;
+  for (int w = 0; w < assoc_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.last_use = clock_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer an invalid way
+    } else if (victim->valid && way.last_use < victim->last_use) {
+      victim = &way;
+    }
+  }
+  ++misses_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = clock_;
+  return false;
+}
+
+double CacheSim::miss_ratio() const {
+  if (accesses_ == 0) return 0.0;
+  return static_cast<double>(misses_) / static_cast<double>(accesses_);
+}
+
+void CacheSim::reset() {
+  clock_ = accesses_ = misses_ = 0;
+  for (auto& w : ways_) w = Way{};
+}
+
+HierarchySim::HierarchySim(const std::vector<CacheLevelConfig>& levels) {
+  require(!levels.empty(), "HierarchySim: empty hierarchy");
+  sims_.reserve(levels.size());
+  for (const auto& l : levels) sims_.emplace_back(l);
+}
+
+std::size_t HierarchySim::access(std::uint64_t address) {
+  ++total_accesses_;
+  for (std::size_t i = 0; i < sims_.size(); ++i) {
+    if (sims_[i].access(address)) return i;
+  }
+  return sims_.size();
+}
+
+double HierarchySim::global_miss_ratio(std::size_t i) const {
+  require(i < sims_.size(), "HierarchySim: level out of range");
+  if (total_accesses_ == 0) return 0.0;
+  return static_cast<double>(sims_[i].misses()) / static_cast<double>(total_accesses_);
+}
+
+}  // namespace bvl::arch

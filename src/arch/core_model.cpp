@@ -1,0 +1,73 @@
+#include "arch/core_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bvl::arch {
+
+CoreModel::CoreModel(CoreConfig core, CacheHierarchy caches)
+    : core_(std::move(core)), caches_(std::move(caches)) {
+  require(core_.issue_width >= 1 && core_.issue_width <= 8, "CoreModel: issue width out of range");
+  require(core_.scheduling_efficiency > 0.0 && core_.scheduling_efficiency <= 1.0,
+          "CoreModel: scheduling_efficiency out of (0,1]");
+  require(core_.mlp_hide >= 0.0 && core_.mlp_hide < 1.0, "CoreModel: mlp_hide out of [0,1)");
+}
+
+CpiBreakdown CoreModel::cpi(const Signature& sig, double ws_bytes, Hertz freq,
+                            int active_cores) const {
+  validate(sig);
+  require(ws_bytes > 0.0, "CoreModel::cpi: working set must be positive");
+  require(freq > 0.0, "CoreModel::cpi: freq must be positive");
+
+  CpiBreakdown b;
+
+  // Issue-limited component: the core sustains min(width, workload
+  // ILP) micro-ops per cycle, derated by scheduling efficiency. An
+  // in-order core additionally loses issue slots to dependency
+  // bubbles it cannot reorder around; model that as a further derate
+  // that bites harder when the workload's ILP barely covers the
+  // width (nothing to reorder -> stalls).
+  double sustained = std::min<double>(core_.issue_width, sig.ilp) * core_.scheduling_efficiency;
+  if (!core_.out_of_order) {
+    // An in-order core loses issue slots to dependency bubbles it
+    // cannot reorder around; workloads with ILP slack beyond the
+    // width give the compiler/scheduler something to fill them with.
+    double slack = std::max(0.0, sig.ilp / static_cast<double>(core_.issue_width) - 1.0);
+    double inorder_derate = 0.82 + 0.10 * std::min(1.0, slack);
+    sustained *= inorder_derate;
+  }
+  b.core = 1.0 / std::max(0.1, sustained);
+
+  b.branch = sig.branches_per_inst * sig.branch_miss_rate *
+             static_cast<double>(core_.branch_penalty_cycles);
+
+  // Memory stall: split the hierarchy's per-reference stall into the
+  // on-chip (cycle-denominated) and DRAM (ns-denominated) parts.
+  double total_stall = caches_.stall_cycles_per_ref(ws_bytes, sig.locality_theta, freq,
+                                                    active_cores);
+  double llc_miss = caches_.llc_miss_ratio(ws_bytes, sig.locality_theta, active_cores);
+  double dram_stall = llc_miss * caches_.memory().latency_ns * 1e-9 * freq;
+  double cache_stall = std::max(0.0, total_stall - dram_stall);
+
+  // Visible fraction of the stall after MLP overlap and prefetching.
+  double prefetch_hide = 0.6 * sig.prefetchability;
+  double visible = (1.0 - core_.mlp_hide) * (1.0 - prefetch_hide);
+  b.cache = sig.mem_refs_per_inst * cache_stall * visible;
+  b.dram = sig.mem_refs_per_inst * dram_stall * visible;
+  return b;
+}
+
+double CoreModel::ipc(const Signature& sig, double ws_bytes, Hertz freq, int active_cores) const {
+  return cpi(sig, ws_bytes, freq, active_cores).ipc();
+}
+
+Seconds CoreModel::exec_time(double instructions, const Signature& sig, double ws_bytes,
+                             Hertz freq, int active_cores) const {
+  require(instructions >= 0.0, "CoreModel::exec_time: negative instruction count");
+  CpiBreakdown b = cpi(sig, ws_bytes, freq, active_cores);
+  return instructions * b.total() / freq;
+}
+
+}  // namespace bvl::arch

@@ -1,0 +1,39 @@
+// Voltage/frequency operating points.
+//
+// The paper sweeps core frequency over {1.2, 1.4, 1.6, 1.8} GHz on both
+// servers. Dynamic power scales as C * V^2 * f, so the voltage at each
+// point matters; each server preset carries a V/f table and we
+// interpolate linearly between points.
+#pragma once
+
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace bvl::arch {
+
+struct OperatingPoint {
+  Hertz freq = 0;
+  Volts voltage = 0;
+};
+
+class DvfsTable {
+ public:
+  /// Points must be sorted by ascending frequency, all positive.
+  explicit DvfsTable(std::vector<OperatingPoint> points);
+
+  /// Linear interpolation; clamps outside the table range.
+  Volts voltage_at(Hertz freq) const;
+
+  Hertz min_freq() const { return points_.front().freq; }
+  Hertz max_freq() const { return points_.back().freq; }
+  const std::vector<OperatingPoint>& points() const { return points_; }
+
+ private:
+  std::vector<OperatingPoint> points_;
+};
+
+/// The sweep used throughout the paper's Section 3.
+std::vector<Hertz> paper_frequency_sweep();
+
+}  // namespace bvl::arch

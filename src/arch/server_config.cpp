@@ -1,0 +1,132 @@
+#include "arch/server_config.hpp"
+
+namespace bvl::arch {
+
+ServerConfig xeon_e5_2420() {
+  ServerConfig s{
+      .name = "Xeon E5-2420",
+      .core =
+          CoreConfig{
+              .uarch = "Sandy Bridge",
+              .issue_width = 4,
+              .out_of_order = true,
+              .scheduling_efficiency = 0.90,
+              .mlp_hide = 0.62,
+              .branch_penalty_cycles = 15,
+          },
+      .cache_levels =
+          {
+              CacheLevelConfig{.name = "L1d",
+                               .capacity = 32 * KB,
+                               .associativity = 8,
+                               .line_bytes = 64,
+                               .hit_cycles = 4,
+                               .sharer_group = 1},
+              CacheLevelConfig{.name = "L2",
+                               .capacity = 256 * KB,
+                               .associativity = 8,
+                               .line_bytes = 64,
+                               .hit_cycles = 12,
+                               .sharer_group = 1},
+              CacheLevelConfig{.name = "L3",
+                               .capacity = 15 * MB,
+                               .associativity = 20,
+                               .line_bytes = 64,
+                               .hit_cycles = 30,
+                               .sharer_group = 6},
+          },
+      .memory = MemoryConfig{.latency_ns = 70.0, .bandwidth_gbps = 25.6, .capacity = 8 * GB},
+      .dvfs = DvfsTable({{1.2 * GHz, 0.85},
+                         {1.4 * GHz, 0.90},
+                         {1.6 * GHz, 0.95},
+                         {1.8 * GHz, 1.00}}),
+      .storage =
+          StorageConfig{
+              // Server-class SATA controller + deep queues; effective
+              // streaming rate seen by HDFS on the E5 node.
+              .seq_bandwidth_mbps = 450.0,
+              .sustained_bandwidth_mbps = 135.0,
+              .burst_bytes = 3 * GB,
+              .seek_ms = 6.0,
+              .kernel_inst_per_byte = 0.9,
+          },
+      .power =
+          PowerParams{
+              .core_ceff_f = 6.2e-9,       // ~11 W/core at 1.0 V, 1.8 GHz
+              .core_leak_w_per_v = 2.5,
+              .uncore_w = 28.0,
+              .dram_idle_w = 3.0,
+              .dram_w_per_gbps = 0.8,
+              .disk_active_w = 10.0,
+              .system_idle_w = 95.0,
+          },
+      .cores = 12,  // two E5-2420 sockets, six cores each
+      .area_mm2 = 216.0,
+      .task_launch_factor = 1.0,
+      .network_efficiency = 1.0,
+  };
+  return s;
+}
+
+ServerConfig atom_c2758() {
+  ServerConfig s{
+      .name = "Atom C2758",
+      .core =
+          CoreConfig{
+              .uarch = "Silvermont",
+              .issue_width = 2,
+              .out_of_order = false,  // limited OoO; behaves in-order on irregular code
+              .scheduling_efficiency = 0.85,
+              .mlp_hide = 0.38,
+              .branch_penalty_cycles = 10,
+          },
+      .cache_levels =
+          {
+              CacheLevelConfig{.name = "L1d",
+                               .capacity = 24 * KB,
+                               .associativity = 6,
+                               .line_bytes = 64,
+                               .hit_cycles = 3,
+                               .sharer_group = 1},
+              CacheLevelConfig{.name = "L2",
+                               .capacity = 1 * MB,
+                               .associativity = 16,
+                               .line_bytes = 64,
+                               .hit_cycles = 14,
+                               .sharer_group = 2},  // 4 modules x 2 cores x 1 MB
+          },
+      .memory = MemoryConfig{.latency_ns = 90.0, .bandwidth_gbps = 12.8, .capacity = 8 * GB},
+      .dvfs = DvfsTable({{1.2 * GHz, 0.75},
+                         {1.4 * GHz, 0.80},
+                         {1.6 * GHz, 0.85},
+                         {1.8 * GHz, 0.90}}),
+      .storage =
+          StorageConfig{
+              // SoC SATA + shallow queueing on the C2758 board.
+              .seq_bandwidth_mbps = 65.0,
+              .sustained_bandwidth_mbps = 52.0,
+              .burst_bytes = 2 * GB,
+              .seek_ms = 10.0,
+              .kernel_inst_per_byte = 1.4,
+          },
+      .power =
+          PowerParams{
+              .core_ceff_f = 1.1e-9,       // ~1.6 W/core at 0.9 V, 1.8 GHz
+              .core_leak_w_per_v = 0.35,
+              .uncore_w = 2.5,
+              .dram_idle_w = 2.5,
+              .dram_w_per_gbps = 0.8,
+              .disk_active_w = 3.5,
+              .system_idle_w = 28.0,
+          },
+      .cores = 8,
+      .area_mm2 = 160.0,
+      .task_launch_factor = 1.7,
+      .network_efficiency = 0.7,
+  };
+  return s;
+}
+
+std::vector<ServerConfig> paper_servers() { return {xeon_e5_2420(), atom_c2758()}; }
+
+}  // namespace bvl::arch

@@ -1,0 +1,23 @@
+#include "arch/signature.hpp"
+
+#include "util/error.hpp"
+
+namespace bvl::arch {
+
+void validate(const Signature& sig) {
+  require(!sig.name.empty(), "Signature: name required");
+  require(sig.ilp >= 1.0 && sig.ilp <= 8.0, "Signature: ilp out of range [1,8]");
+  require(sig.mem_refs_per_inst > 0.0 && sig.mem_refs_per_inst < 1.0,
+          "Signature: mem_refs_per_inst out of (0,1)");
+  require(sig.branches_per_inst >= 0.0 && sig.branches_per_inst < 1.0,
+          "Signature: branches_per_inst out of [0,1)");
+  require(sig.branch_miss_rate >= 0.0 && sig.branch_miss_rate <= 0.5,
+          "Signature: branch_miss_rate out of [0,0.5]");
+  require(sig.locality_theta > 0.0, "Signature: locality_theta must be positive");
+  require(sig.working_set_per_input_byte > 0.0, "Signature: working set scale must be positive");
+  require(sig.prefetchability >= 0.0 && sig.prefetchability <= 1.0,
+          "Signature: prefetchability out of [0,1]");
+  require(sig.ws_cap_bytes > 0.0, "Signature: ws_cap_bytes must be positive");
+}
+
+}  // namespace bvl::arch

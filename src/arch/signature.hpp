@@ -1,0 +1,57 @@
+// Microarchitecture-independent workload signatures.
+//
+// A signature captures *what the code is like* — its inherent ILP,
+// memory-reference density, branch behaviour, and locality — while the
+// machine model (core_model/cache) captures *what the core is like*.
+// Time and energy come from combining the two, which is exactly the
+// separation the paper exploits: the same Hadoop phase lands on either
+// a big Xeon or little Atom core and the outcome differs only through
+// the machine parameters.
+#pragma once
+
+#include <string>
+
+namespace bvl::arch {
+
+struct Signature {
+  std::string name;
+
+  /// Mean inherent instruction-level parallelism: how many independent
+  /// instructions per cycle the code exposes to a wide-enough core.
+  /// Hadoop code (interpreted-framework-style pointer chasing) exposes
+  /// less ILP than SPEC loops — the root of Fig. 1's IPC gap.
+  double ilp = 2.0;
+
+  /// Loads+stores per dynamic instruction (typ. 0.3–0.5).
+  double mem_refs_per_inst = 0.35;
+
+  /// Branches per dynamic instruction.
+  double branches_per_inst = 0.15;
+
+  /// Mispredictions per branch (after a typical predictor).
+  double branch_miss_rate = 0.02;
+
+  /// Power-law locality exponent for the miss-ratio curve; larger
+  /// means more cache-friendly reuse.
+  double locality_theta = 0.8;
+
+  /// Working-set scale: bytes of distinct data touched per byte of
+  /// input processed (hash tables, sort buffers inflate this).
+  double working_set_per_input_byte = 0.5;
+
+  /// Fraction of memory stall inherently overlappable (streaming
+  /// access patterns prefetch well; pointer chasing does not).
+  double prefetchability = 0.5;
+
+  /// Upper bound on the resident working set regardless of data
+  /// volume (an aggregation table holds distinct keys, not the
+  /// stream). Phases whose cap lands between the little core's L2
+  /// and the big core's L3 are exactly the "memory intensive" reduce
+  /// phases the paper finds preferring Xeon.
+  double ws_cap_bytes = 4.0 * 1024 * 1024 * 1024.0;
+};
+
+/// Validates ranges; throws bvl::Error on nonsense values.
+void validate(const Signature& sig);
+
+}  // namespace bvl::arch

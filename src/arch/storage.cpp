@@ -1,0 +1,32 @@
+#include "arch/storage.hpp"
+
+#include "util/error.hpp"
+
+namespace bvl::arch {
+
+StorageModel::StorageModel(StorageConfig cfg) : cfg_(cfg) {
+  require(cfg_.seq_bandwidth_mbps > 0.0, "StorageModel: bandwidth must be positive");
+  require(cfg_.sustained_bandwidth_mbps > 0.0, "StorageModel: sustained rate must be positive");
+  require(cfg_.sustained_bandwidth_mbps <= cfg_.seq_bandwidth_mbps,
+          "StorageModel: sustained rate above burst rate");
+  require(cfg_.burst_bytes > 0, "StorageModel: zero burst window");
+  require(cfg_.seek_ms >= 0.0, "StorageModel: negative seek");
+  require(cfg_.kernel_inst_per_byte >= 0.0, "StorageModel: negative kernel cost");
+}
+
+Seconds StorageModel::transfer_time(Bytes bytes, std::uint64_t random_ops) const {
+  // First burst_bytes go at the burst rate, the remainder at the
+  // sustained device rate.
+  double burst_part = static_cast<double>(std::min(bytes, cfg_.burst_bytes));
+  double sustained_part = static_cast<double>(bytes) - burst_part;
+  double seq = burst_part / (cfg_.seq_bandwidth_mbps * 1e6) +
+               sustained_part / (cfg_.sustained_bandwidth_mbps * 1e6);
+  double seeks = static_cast<double>(random_ops) * cfg_.seek_ms * 1e-3;
+  return seq + seeks;
+}
+
+double StorageModel::kernel_instructions(Bytes bytes) const {
+  return static_cast<double>(bytes) * cfg_.kernel_inst_per_byte;
+}
+
+}  // namespace bvl::arch

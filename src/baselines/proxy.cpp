@@ -1,0 +1,168 @@
+#include "baselines/proxy.hpp"
+
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace bvl::base {
+
+namespace {
+
+arch::Signature make_sig(std::string name, double ilp, double mem_refs, double theta,
+                         double prefetch, double branch_mr) {
+  arch::Signature s;
+  s.name = std::move(name);
+  s.ilp = ilp;
+  s.mem_refs_per_inst = mem_refs;
+  s.branches_per_inst = 0.14;
+  s.branch_miss_rate = branch_mr;
+  s.locality_theta = theta;
+  s.working_set_per_input_byte = 1.0;
+  s.prefetchability = prefetch;
+  arch::validate(s);
+  return s;
+}
+
+// --- Real kernels (small but genuine; checksums pinned in tests) ---
+
+std::uint64_t kernel_matmul() {
+  constexpr int n = 48;
+  std::array<double, n * n> a{}, b{}, c{};
+  for (int i = 0; i < n * n; ++i) {
+    a[static_cast<std::size_t>(i)] = (i % 7) * 0.5;
+    b[static_cast<std::size_t>(i)] = (i % 5) * 0.25;
+  }
+  for (int i = 0; i < n; ++i)
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j)
+        c[static_cast<std::size_t>(i * n + j)] +=
+            a[static_cast<std::size_t>(i * n + k)] * b[static_cast<std::size_t>(k * n + j)];
+  double sum = std::accumulate(c.begin(), c.end(), 0.0);
+  return static_cast<std::uint64_t>(sum);
+}
+
+std::uint64_t kernel_pointer_chase() {
+  constexpr std::size_t n = 4096;
+  std::vector<std::size_t> next(n);
+  for (std::size_t i = 0; i < n; ++i) next[i] = (i * 2654435761ULL + 1) % n;
+  std::size_t p = 0;
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 50000; ++i) {
+    p = next[p];
+    acc += p;
+  }
+  return acc;
+}
+
+std::uint64_t kernel_string_search() {
+  std::string hay;
+  for (int i = 0; i < 2000; ++i) hay += "abcdefgh" + std::to_string(i % 13);
+  std::uint64_t hits = 0;
+  std::size_t pos = 0;
+  while ((pos = hay.find("gh1", pos)) != std::string::npos) {
+    ++hits;
+    ++pos;
+  }
+  return hits;
+}
+
+std::uint64_t kernel_stencil() {
+  constexpr int n = 128;
+  std::vector<double> grid(n * n, 1.0), out(n * n, 0.0);
+  for (int iter = 0; iter < 8; ++iter) {
+    for (int i = 1; i < n - 1; ++i)
+      for (int j = 1; j < n - 1; ++j)
+        out[static_cast<std::size_t>(i * n + j)] =
+            0.25 * (grid[static_cast<std::size_t>((i - 1) * n + j)] +
+                    grid[static_cast<std::size_t>((i + 1) * n + j)] +
+                    grid[static_cast<std::size_t>(i * n + j - 1)] +
+                    grid[static_cast<std::size_t>(i * n + j + 1)]);
+    std::swap(grid, out);
+  }
+  return static_cast<std::uint64_t>(std::accumulate(grid.begin(), grid.end(), 0.0));
+}
+
+std::uint64_t kernel_rle() {
+  std::string data;
+  for (int i = 0; i < 5000; ++i) data += static_cast<char>('a' + (i / 17) % 26);
+  std::uint64_t runs = 0;
+  for (std::size_t i = 0; i < data.size();) {
+    std::size_t j = i;
+    while (j < data.size() && data[j] == data[i]) ++j;
+    ++runs;
+    i = j;
+  }
+  return runs;
+}
+
+std::uint64_t kernel_montecarlo() {
+  std::uint64_t state = 0x9e3779b9;
+  std::uint64_t inside = 0;
+  for (int i = 0; i < 40000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    double x = static_cast<double>(state >> 40) / 16777216.0;
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    double y = static_cast<double>(state >> 40) / 16777216.0;
+    if (x * x + y * y <= 1.0) ++inside;
+  }
+  return inside;
+}
+
+std::uint64_t kernel_blackscholes_like() {
+  double acc = 0;
+  for (int i = 1; i <= 20000; ++i) {
+    double s = 80.0 + (i % 41);
+    double v = 0.2 + 0.001 * (i % 17);
+    acc += s * std::exp(-v) + std::sqrt(v * s);
+  }
+  return static_cast<std::uint64_t>(acc);
+}
+
+std::uint64_t kernel_histogram() {
+  std::array<std::uint32_t, 256> bins{};
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 100000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    ++bins[(state >> 33) & 0xff];
+  }
+  std::uint64_t acc = 0;
+  for (std::size_t b = 0; b < bins.size(); ++b) acc += bins[b] * b;
+  return acc;
+}
+
+}  // namespace
+
+std::vector<ProxyKernel> spec_suite() {
+  // SPEC-class: high ILP, cache-resident working sets, predictable
+  // branches — the codes big OoO cores were built for.
+  return {
+      {"perlbench-like", make_sig("spec.perl", 2.6, 0.36, 1.10, 0.45, 0.035), 9e9, 4e6,
+       kernel_string_search},
+      {"mcf-like", make_sig("spec.mcf", 1.8, 0.42, 0.55, 0.20, 0.030), 7e9, 40e6,
+       kernel_pointer_chase},
+      {"namd-like", make_sig("spec.namd", 3.8, 0.30, 1.40, 0.80, 0.010), 12e9, 2e6,
+       kernel_matmul},
+      {"soplex-like", make_sig("spec.soplex", 3.0, 0.38, 1.10, 0.65, 0.020), 8e9, 12e6,
+       kernel_stencil},
+      {"bzip2-like", make_sig("spec.bzip2", 2.8, 0.35, 1.05, 0.55, 0.040), 8e9, 6e6, kernel_rle},
+      {"povray-like", make_sig("spec.povray", 3.6, 0.28, 1.45, 0.70, 0.015), 10e9, 1e6,
+       kernel_blackscholes_like},
+  };
+}
+
+std::vector<ProxyKernel> parsec_suite() {
+  // PARSEC-class: parallel kernels, mostly regular data access.
+  return {
+      {"blackscholes-like", make_sig("parsec.bs", 3.6, 0.30, 1.35, 0.75, 0.012), 6e9, 2e6,
+       kernel_blackscholes_like},
+      {"streamcluster-like", make_sig("parsec.sc", 2.6, 0.42, 0.80, 0.70, 0.020), 7e9, 24e6,
+       kernel_histogram},
+      {"swaptions-like", make_sig("parsec.sw", 3.4, 0.30, 1.30, 0.70, 0.015), 6e9, 3e6,
+       kernel_montecarlo},
+      {"canneal-like", make_sig("parsec.cn", 2.0, 0.44, 0.60, 0.30, 0.030), 7e9, 48e6,
+       kernel_pointer_chase},
+  };
+}
+
+}  // namespace bvl::base

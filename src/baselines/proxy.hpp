@@ -1,0 +1,38 @@
+// Traditional-benchmark proxies for the paper's Fig. 1-2 comparison.
+//
+// The paper contrasts Hadoop with SPEC CPU2006 (scalar, high-ILP,
+// cache-resident loops) and PARSEC 2.1 (parallel kernels). We cannot
+// ship those suites, so each proxy pairs a *real executable kernel*
+// (verifying the code path exists and producing a checksum) with a
+// Signature capturing the class's microarchitectural character; the
+// perf model prices the signatures on both servers exactly as it does
+// Hadoop phases. Fig. 1-2 only need the suite-level contrast, which
+// the signatures carry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/signature.hpp"
+
+namespace bvl::base {
+
+struct ProxyKernel {
+  std::string name;
+  arch::Signature sig;
+  double instructions;  ///< dynamic instructions of the reference run
+  double ws_bytes;      ///< resident working set
+  /// Small real computation; returns a checksum (tests pin it).
+  std::function<std::uint64_t()> kernel;
+};
+
+/// SPEC-CPU2006-like suite: six scalar kernels (integer, fp, pointer,
+/// string, stencil, compression-like).
+std::vector<ProxyKernel> spec_suite();
+
+/// PARSEC-2.1-like suite: four parallel-friendly kernels.
+std::vector<ProxyKernel> parsec_suite();
+
+}  // namespace bvl::base

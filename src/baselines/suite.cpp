@@ -1,0 +1,56 @@
+#include "baselines/suite.hpp"
+
+#include <cmath>
+
+#include "power/power_model.hpp"
+#include "util/error.hpp"
+
+namespace bvl::base {
+
+double SuiteResult::mean_ipc() const {
+  require(!kernels.empty(), "SuiteResult: empty suite");
+  double acc = 0;
+  for (const auto& k : kernels) acc += k.ipc;
+  return acc / static_cast<double>(kernels.size());
+}
+
+double SuiteResult::edxp(int x) const {
+  require(x >= 1 && x <= 3, "SuiteResult::edxp: x out of [1,3]");
+  double acc = 0;
+  for (const auto& k : kernels) acc += k.energy * std::pow(k.time, x);
+  return acc;
+}
+
+SuiteResult run_suite(const std::string& suite_name, const std::vector<ProxyKernel>& suite,
+                      const arch::ServerConfig& server, Hertz freq) {
+  SuiteResult result;
+  result.suite = suite_name;
+  result.server = server.name;
+
+  arch::CoreModel core = server.make_core_model();
+  power::PowerModel power(server);
+
+  for (const auto& k : suite) {
+    (void)k.kernel();  // execute the real kernel once
+
+    KernelResult r;
+    r.kernel = k.name;
+    arch::CpiBreakdown cpi = core.cpi(k.sig, k.ws_bytes, freq, 1);
+    r.ipc = cpi.ipc();
+    r.time = k.instructions * cpi.total() / freq;
+
+    power::SystemLoad load;
+    load.active_cores = 1;
+    load.avg_ipc = r.ipc;
+    load.mem_gbps = k.instructions * k.sig.mem_refs_per_inst *
+                    core.caches().llc_miss_ratio(k.ws_bytes, k.sig.locality_theta) * 64.0 /
+                    std::max(1e-9, r.time) / 1e9;
+    load.disk_duty = 0.0;
+    r.dynamic_power = power.dynamic_power(load, freq);
+    r.energy = r.dynamic_power * r.time;
+    result.kernels.push_back(r);
+  }
+  return result;
+}
+
+}  // namespace bvl::base

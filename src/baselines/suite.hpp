@@ -1,0 +1,37 @@
+// Suite-level pricing of the baseline proxies (Fig. 1-2 data).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/server_config.hpp"
+#include "baselines/proxy.hpp"
+#include "util/units.hpp"
+
+namespace bvl::base {
+
+struct KernelResult {
+  std::string kernel;
+  double ipc = 0;
+  Seconds time = 0;
+  Watts dynamic_power = 0;
+  Joules energy = 0;
+};
+
+struct SuiteResult {
+  std::string suite;
+  std::string server;
+  std::vector<KernelResult> kernels;
+
+  double mean_ipc() const;
+  /// Suite EDP aggregate: sum of per-kernel energy x per-kernel delay.
+  double edxp(int x) const;
+};
+
+/// Prices one suite on one server at `freq`. Every kernel's real code
+/// is executed once (checksum discarded here; tests pin it) so the
+/// binary genuinely exercises the baselines.
+SuiteResult run_suite(const std::string& suite_name, const std::vector<ProxyKernel>& suite,
+                      const arch::ServerConfig& server, Hertz freq);
+
+}  // namespace bvl::base

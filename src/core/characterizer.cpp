@@ -1,0 +1,55 @@
+#include "core/characterizer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bvl::core {
+
+Characterizer::Characterizer(hdfs::DfsConfig dfs, perf::ClusterConfig cluster,
+                             Bytes target_exec_bytes, std::uint64_t seed)
+    : dfs_(dfs), cluster_(cluster), target_exec_(target_exec_bytes), seed_(seed) {
+  require(target_exec_ >= 64 * KB, "Characterizer: execution target too small");
+}
+
+Characterizer::Key Characterizer::key_of(const RunSpec& spec) const {
+  return {static_cast<int>(spec.workload), spec.input_size, spec.block_size, spec.num_reducers,
+          spec.use_combiner};
+}
+
+const mr::JobTrace& Characterizer::trace(const RunSpec& spec) {
+  Key k = key_of(spec);
+  auto it = cache_.find(k);
+  if (it != cache_.end()) return it->second;
+
+  auto def = wl::make_workload(spec.workload);
+  mr::JobConfig cfg;
+  cfg.input_size = spec.input_size;
+  cfg.block_size = spec.block_size;
+  cfg.num_reducers = spec.num_reducers;
+  cfg.use_combiner = spec.use_combiner;
+  cfg.sim_scale = std::max(1.0, static_cast<double>(spec.input_size) /
+                                    static_cast<double>(target_exec_));
+  cfg.seed = seed_;
+  mr::JobTrace t = engine_.run(*def, cfg);
+  auto [pos, inserted] = cache_.emplace(k, std::move(t));
+  require(inserted, "Characterizer: cache insert raced");
+  return pos->second;
+}
+
+perf::RunResult Characterizer::run(const RunSpec& spec, const arch::ServerConfig& server) {
+  auto it = models_.find(server.name);
+  if (it == models_.end()) {
+    it = models_
+             .emplace(server.name,
+                      std::make_unique<perf::PerfModel>(server, dfs_, cluster_))
+             .first;
+  }
+  return it->second->price(trace(spec), spec.freq, spec.mappers);
+}
+
+std::pair<perf::RunResult, perf::RunResult> Characterizer::run_pair(const RunSpec& spec) {
+  return {run(spec, arch::xeon_e5_2420()), run(spec, arch::atom_c2758())};
+}
+
+}  // namespace bvl::core

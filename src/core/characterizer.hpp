@@ -1,0 +1,68 @@
+// Characterizer: the library's main entry point. Runs a workload on
+// the MapReduce engine once per (input size, block size) point,
+// caches the machine-independent trace, and prices it on any server /
+// frequency / slot count — the workflow behind every figure and table
+// in the paper's evaluation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "arch/server_config.hpp"
+#include "mapreduce/engine.hpp"
+#include "perf/perf_model.hpp"
+#include "workloads/registry.hpp"
+
+namespace bvl::core {
+
+/// One experiment point. Defaults match the paper's reference
+/// configuration (512 MB blocks, 1.8 GHz, mappers = 8).
+struct RunSpec {
+  wl::WorkloadId workload = wl::WorkloadId::kWordCount;
+  Bytes input_size = 1 * GB;   ///< per node
+  Bytes block_size = 512 * MB;
+  Hertz freq = 1.8 * GHz;
+  /// Task slots per node. 4 by default (the configuration under
+  /// which the paper's block-size optima reproduce: 1 GB / 256 MB
+  /// blocks fills the slots exactly); Table-3 sweeps set it to the
+  /// core count explicitly.
+  int mappers = 4;
+  int num_reducers = -1;       ///< -1: workload default
+  bool use_combiner = true;
+};
+
+class Characterizer {
+ public:
+  /// `target_exec_bytes` bounds how much data the engine really
+  /// executes per trace (sim_scale = input / target, floored at 1).
+  explicit Characterizer(hdfs::DfsConfig dfs = {}, perf::ClusterConfig cluster = {},
+                         Bytes target_exec_bytes = 16 * MB, std::uint64_t seed = 42);
+
+  /// Machine-independent trace for the spec (cached).
+  const mr::JobTrace& trace(const RunSpec& spec);
+
+  /// Prices the spec's trace on `server` at the spec's operating
+  /// point.
+  perf::RunResult run(const RunSpec& spec, const arch::ServerConfig& server);
+
+  /// Convenience for the ubiquitous Atom-vs-Xeon pair.
+  std::pair<perf::RunResult, perf::RunResult> run_pair(const RunSpec& spec);
+
+  const hdfs::DfsConfig& dfs() const { return dfs_; }
+  const perf::ClusterConfig& cluster_config() const { return cluster_; }
+
+ private:
+  using Key = std::tuple<int, Bytes, Bytes, int, bool>;
+  Key key_of(const RunSpec& spec) const;
+
+  hdfs::DfsConfig dfs_;
+  perf::ClusterConfig cluster_;
+  Bytes target_exec_;
+  std::uint64_t seed_;
+  mr::Engine engine_;
+  std::map<Key, mr::JobTrace> cache_;
+  std::map<std::string, std::unique_ptr<perf::PerfModel>> models_;
+};
+
+}  // namespace bvl::core

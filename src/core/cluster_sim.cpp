@@ -1,0 +1,130 @@
+#include "core/cluster_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace bvl::core {
+
+namespace {
+
+/// Mutable per-node state during list scheduling.
+struct NodeState {
+  const arch::ServerConfig* server;
+  int index;           ///< instance number within its type
+  Seconds free_at = 0;
+};
+
+std::vector<NodeState> expand(const std::vector<NodeSpec>& rack) {
+  std::vector<NodeState> nodes;
+  for (const auto& spec : rack) {
+    require(spec.count >= 1, "simulate_mix: node count must be >= 1");
+    for (int i = 0; i < spec.count; ++i) nodes.push_back({&spec.server, i, 0.0});
+  }
+  require(!nodes.empty(), "simulate_mix: empty rack");
+  return nodes;
+}
+
+/// Runtime and energy of `job` on `server` using all its cores.
+std::pair<Seconds, Joules> job_cost(Characterizer& ch, const JobRequest& job,
+                                    const arch::ServerConfig& server) {
+  RunSpec spec;
+  spec.workload = job.workload;
+  spec.input_size = job.input_size;
+  spec.mappers = std::min(8, server.cores);
+  perf::RunResult r = ch.run(spec, server);
+  return {r.total_time(), r.total_energy()};
+}
+
+}  // namespace
+
+std::string to_string(MixPolicy p) {
+  switch (p) {
+    case MixPolicy::kClassAware: return "class-aware";
+    case MixPolicy::kEarliestFinish: return "earliest-finish";
+    case MixPolicy::kRoundRobin: return "round-robin";
+  }
+  throw Error("to_string(MixPolicy): unknown policy");
+}
+
+double MixResult::edxp(int x) const {
+  require(x >= 0 && x <= 3, "MixResult::edxp: x out of [0,3]");
+  return total_energy * std::pow(makespan, x);
+}
+
+MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
+                       const std::vector<NodeSpec>& rack, MixPolicy policy) {
+  std::vector<NodeState> nodes = expand(rack);
+  MixResult result;
+  std::size_t rr_cursor = 0;
+
+  for (const auto& job : jobs) {
+    AppClass cls = classify_workload(ch, job.workload);
+
+    NodeState* chosen = nullptr;
+    switch (policy) {
+      case MixPolicy::kClassAware: {
+        // Preferred server type per the Sec. 3.5 policy; fall back to
+        // any node when the rack lacks that type.
+        Allocation want = schedule_by_class(cls, Goal::edp());
+        const std::string preferred =
+            want.uses_xeon() ? arch::xeon_e5_2420().name : arch::atom_c2758().name;
+        for (auto& n : nodes) {
+          if (n.server->name != preferred) continue;
+          if (chosen == nullptr || n.free_at < chosen->free_at) chosen = &n;
+        }
+        if (chosen == nullptr) {
+          for (auto& n : nodes)
+            if (chosen == nullptr || n.free_at < chosen->free_at) chosen = &n;
+        }
+        break;
+      }
+      case MixPolicy::kEarliestFinish: {
+        Seconds best_finish = std::numeric_limits<double>::infinity();
+        for (auto& n : nodes) {
+          auto [t, e] = job_cost(ch, job, *n.server);
+          if (n.free_at + t < best_finish) {
+            best_finish = n.free_at + t;
+            chosen = &n;
+          }
+        }
+        break;
+      }
+      case MixPolicy::kRoundRobin: {
+        chosen = &nodes[rr_cursor % nodes.size()];
+        ++rr_cursor;
+        break;
+      }
+    }
+    require(chosen != nullptr, "simulate_mix: no node selected");
+
+    auto [t, e] = job_cost(ch, job, *chosen->server);
+    JobSchedule s;
+    s.job = job;
+    s.app_class = cls;
+    s.node_type = chosen->server->name;
+    s.node_index = chosen->index;
+    s.start = chosen->free_at;
+    s.finish = chosen->free_at + t;
+    s.energy = e;
+    chosen->free_at = s.finish;
+    result.total_energy += e;
+    result.makespan = std::max(result.makespan, s.finish);
+    result.schedule.push_back(std::move(s));
+  }
+  return result;
+}
+
+std::vector<std::vector<NodeSpec>> comparison_racks(int nodes) {
+  require(nodes >= 2, "comparison_racks: need at least 2 nodes");
+  std::vector<std::vector<NodeSpec>> racks;
+  racks.push_back({NodeSpec{arch::xeon_e5_2420(), nodes}});
+  racks.push_back({NodeSpec{arch::atom_c2758(), nodes}});
+  racks.push_back({NodeSpec{arch::xeon_e5_2420(), nodes / 2},
+                   NodeSpec{arch::atom_c2758(), nodes - nodes / 2}});
+  return racks;
+}
+
+}  // namespace bvl::core

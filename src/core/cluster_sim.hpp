@@ -1,0 +1,64 @@
+// Heterogeneous-cluster mix simulation: the cloud-provider view of
+// Sec. 3.5. plan_jobs answers "where should this job go"; this module
+// answers "what happens to a whole queue of jobs on a concrete rack"
+// — list-schedule a job mix onto a pool of big and little nodes and
+// report makespan, total energy, and the cost metrics, so a
+// heterogeneous rack can be compared against all-big and all-little
+// alternatives (the paper's motivating deployment question).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/characterizer.hpp"
+#include "core/classifier.hpp"
+#include "core/scheduler.hpp"
+
+namespace bvl::core {
+
+/// One physical node of the simulated rack.
+struct NodeSpec {
+  arch::ServerConfig server;
+  int count = 1;  ///< identical nodes of this type
+};
+
+/// Where and when one job ran.
+struct JobSchedule {
+  JobRequest job;
+  AppClass app_class = AppClass::kHybrid;
+  std::string node_type;
+  int node_index = 0;       ///< which instance of that type
+  Seconds start = 0;
+  Seconds finish = 0;
+  Joules energy = 0;
+};
+
+struct MixResult {
+  std::vector<JobSchedule> schedule;
+  Seconds makespan = 0;
+  Joules total_energy = 0;
+
+  /// Operational cost of the whole mix (energy x makespan^x).
+  double edxp(int x) const;
+};
+
+/// Placement policies for the mix simulation.
+enum class MixPolicy {
+  kClassAware,     ///< paper policy: route by C/I/H class, earliest-free node of the preferred type
+  kEarliestFinish, ///< greedy: whichever node finishes the job soonest
+  kRoundRobin,     ///< class-blind baseline
+};
+
+std::string to_string(MixPolicy p);
+
+/// Simulates `jobs` (processed in order) on the `rack` under `policy`.
+/// Each job occupies one node exclusively; per-job runtimes/energy come
+/// from the Characterizer at the node's full core count.
+MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
+                       const std::vector<NodeSpec>& rack, MixPolicy policy);
+
+/// Convenience: the paper's comparison racks — all-Xeon, all-Atom, and
+/// the heterogeneous half/half rack, each with `nodes` total nodes.
+std::vector<std::vector<NodeSpec>> comparison_racks(int nodes = 4);
+
+}  // namespace bvl::core

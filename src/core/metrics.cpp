@@ -1,0 +1,26 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bvl::core {
+
+double CostMetrics::edxp(int x) const {
+  require(x >= 0 && x <= 3, "CostMetrics::edxp: x out of [0,3]");
+  return energy * std::pow(delay, x);
+}
+
+double CostMetrics::edxap(int x) const { return edxp(x) * area_mm2; }
+
+CostMetrics metrics_for(const perf::RunResult& run, double area_mm2) {
+  require(area_mm2 > 0, "metrics_for: non-positive area");
+  return {run.total_energy(), run.total_time(), area_mm2};
+}
+
+CostMetrics metrics_for_phase(const perf::PhaseResult& phase, double area_mm2) {
+  require(area_mm2 > 0, "metrics_for_phase: non-positive area");
+  return {phase.energy, phase.time, area_mm2};
+}
+
+}  // namespace bvl::core

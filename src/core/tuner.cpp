@@ -1,0 +1,92 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace bvl::core {
+
+namespace {
+
+TuningConstraints with_defaults(TuningConstraints limits) {
+  if (limits.freqs.empty()) limits.freqs = arch::paper_frequency_sweep();
+  if (limits.block_sizes.empty())
+    limits.block_sizes = {64 * MB, 128 * MB, 256 * MB, 512 * MB};
+  require(!limits.core_counts.empty(), "tune_grid: empty core-count grid");
+  return limits;
+}
+
+}  // namespace
+
+std::vector<TuningPoint> tune_grid(Characterizer& ch, wl::WorkloadId workload, Bytes input_size,
+                                   const Goal& goal, const TuningConstraints& raw_limits) {
+  TuningConstraints limits = with_defaults(raw_limits);
+  std::vector<TuningPoint> out;
+  for (const arch::ServerConfig& server : arch::paper_servers()) {
+    for (int cores : limits.core_counts) {
+      if (cores > server.cores) continue;
+      for (Hertz f : limits.freqs) {
+        for (Bytes b : limits.block_sizes) {
+          RunSpec spec;
+          spec.workload = workload;
+          spec.input_size = input_size;
+          spec.block_size = b;
+          spec.freq = f;
+          spec.mappers = cores;
+          perf::RunResult r = ch.run(spec, server);
+          if (limits.max_delay && r.total_time() > *limits.max_delay) continue;
+          TuningPoint p;
+          p.server = server.name;
+          p.cores = cores;
+          p.freq = f;
+          p.block_size = b;
+          p.metrics = metrics_for(r, server.area_mm2);
+          p.goal_cost = goal.with_area ? p.metrics.edxap(goal.delay_exponent)
+                                       : p.metrics.edxp(goal.delay_exponent);
+          out.push_back(p);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TuningPoint& a, const TuningPoint& b) { return a.goal_cost < b.goal_cost; });
+  return out;
+}
+
+TuningPoint tune_best(Characterizer& ch, wl::WorkloadId workload, Bytes input_size,
+                      const Goal& goal, const TuningConstraints& limits) {
+  auto grid = tune_grid(ch, workload, input_size, goal, limits);
+  require(!grid.empty(), "tune_best: no feasible configuration under the delay constraint");
+  return grid.front();
+}
+
+std::optional<TuningPoint> smallest_little_core_config(Characterizer& ch,
+                                                       wl::WorkloadId workload, Bytes input_size,
+                                                       double slack) {
+  require(slack >= 1.0, "smallest_little_core_config: slack must be >= 1");
+
+  // Reference: the best big-core delay over the full grid.
+  TuningConstraints all;
+  auto grid = tune_grid(ch, workload, input_size, Goal::edp(), all);
+  double best_big_delay = std::numeric_limits<double>::infinity();
+  for (const auto& p : grid)
+    if (p.server == arch::xeon_e5_2420().name)
+      best_big_delay = std::min(best_big_delay, p.metrics.delay);
+  require(std::isfinite(best_big_delay), "smallest_little_core_config: no Xeon points");
+
+  // Smallest Atom core count with any tuned config inside the SLA.
+  std::optional<TuningPoint> best;
+  for (const auto& p : grid) {
+    if (p.server != arch::atom_c2758().name) continue;
+    if (p.metrics.delay > slack * best_big_delay) continue;
+    if (!best || p.cores < best->cores ||
+        (p.cores == best->cores && p.goal_cost < best->goal_cost)) {
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace bvl::core

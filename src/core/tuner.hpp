@@ -1,0 +1,58 @@
+// Joint configuration tuner: the paper's closing observation is that
+// "the reliance on a large number of Atom cores can be reduced
+// significantly by fine-tuning the application, system and
+// architecture level parameters." This module makes that operational:
+// an exhaustive argmin over (server, core count, frequency, HDFS
+// block size) under a cost goal, optionally with a user-facing delay
+// constraint (the "still satisfying user expected performance" side
+// of Sec. 3.5).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/characterizer.hpp"
+#include "core/metrics.hpp"
+#include "core/scheduler.hpp"
+
+namespace bvl::core {
+
+struct TuningPoint {
+  std::string server;
+  int cores = 0;
+  Hertz freq = 0;
+  Bytes block_size = 0;
+  CostMetrics metrics;
+  double goal_cost = 0;
+};
+
+struct TuningConstraints {
+  /// Maximum acceptable delay in seconds (user SLA); unset = none.
+  std::optional<Seconds> max_delay;
+  /// Candidate grids; defaults match the paper's sweeps.
+  std::vector<int> core_counts = {2, 4, 6, 8};
+  std::vector<Hertz> freqs;          // empty -> paper_frequency_sweep()
+  std::vector<Bytes> block_sizes;    // empty -> {64,128,256,512} MB
+};
+
+/// Evaluates the full grid for `workload` at `input_size` on both
+/// servers and returns every feasible point, cheapest first.
+/// Infeasible points (delay above the SLA) are dropped.
+std::vector<TuningPoint> tune_grid(Characterizer& ch, wl::WorkloadId workload, Bytes input_size,
+                                   const Goal& goal, const TuningConstraints& limits = {});
+
+/// The cheapest feasible point; throws bvl::Error when the SLA makes
+/// every configuration infeasible.
+TuningPoint tune_best(Characterizer& ch, wl::WorkloadId workload, Bytes input_size,
+                      const Goal& goal, const TuningConstraints& limits = {});
+
+/// Sec. 3.5's headline: the smallest little-core count whose tuned
+/// configuration still meets `slack` x the best big-core delay —
+/// "satisfying user expected performance comparable to what can be
+/// achieved on big cores". Returns nullopt when no Atom configuration
+/// qualifies.
+std::optional<TuningPoint> smallest_little_core_config(Characterizer& ch,
+                                                       wl::WorkloadId workload, Bytes input_size,
+                                                       double slack = 1.5);
+
+}  // namespace bvl::core

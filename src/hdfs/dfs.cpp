@@ -1,0 +1,46 @@
+#include "hdfs/dfs.hpp"
+
+#include "util/error.hpp"
+
+namespace bvl::hdfs {
+
+std::vector<BlockInfo> plan_blocks(Bytes file_size, Bytes block_size) {
+  require(file_size > 0, "plan_blocks: empty file");
+  require(block_size > 0, "plan_blocks: zero block size");
+  std::vector<BlockInfo> out;
+  Bytes off = 0;
+  std::uint64_t id = 0;
+  while (off < file_size) {
+    Bytes len = std::min(block_size, file_size - off);
+    out.push_back({id++, off, len});
+    off += len;
+  }
+  return out;
+}
+
+std::uint64_t num_map_tasks(Bytes file_size, Bytes block_size) {
+  require(block_size > 0, "num_map_tasks: zero block size");
+  return (file_size + block_size - 1) / block_size;
+}
+
+DataNode::DataNode(arch::StorageModel storage, DfsConfig cfg)
+    : storage_(std::move(storage)), cfg_(cfg) {
+  require(cfg_.replication >= 1, "DataNode: replication must be >= 1");
+  require(cfg_.block_size > 0, "DataNode: zero block size");
+}
+
+Seconds DataNode::read_time(Bytes bytes, std::uint64_t blocks) const {
+  return storage_.transfer_time(bytes, blocks);
+}
+
+Seconds DataNode::write_time(Bytes bytes, std::uint64_t blocks) const {
+  auto amplified = static_cast<Bytes>(static_cast<double>(bytes) * cfg_.replication);
+  return storage_.transfer_time(amplified, blocks);
+}
+
+double DataNode::kernel_instructions(Bytes read_bytes, Bytes write_bytes) const {
+  auto write_amp = static_cast<Bytes>(static_cast<double>(write_bytes) * cfg_.replication);
+  return storage_.kernel_instructions(read_bytes + write_amp);
+}
+
+}  // namespace bvl::hdfs

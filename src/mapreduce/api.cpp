@@ -1,0 +1,21 @@
+#include "mapreduce/api.hpp"
+
+#include "util/error.hpp"
+
+namespace bvl::mr {
+
+std::uint64_t stable_hash(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+int JobDefinition::partition(std::string_view key, int num_reducers) const {
+  require(num_reducers > 0, "partition: no reducers");
+  return static_cast<int>(stable_hash(key) % static_cast<std::uint64_t>(num_reducers));
+}
+
+}  // namespace bvl::mr

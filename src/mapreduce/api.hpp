@@ -1,0 +1,93 @@
+// User-facing MapReduce programming interfaces, mirroring Hadoop's:
+// a Mapper, a Reducer (also usable as a Combiner), a record source per
+// input split, and a JobDefinition bundling them with an optional
+// custom partitioner (TeraSort's total-order partitioner).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mapreduce/counters.hpp"
+#include "mapreduce/kv.hpp"
+#include "util/units.hpp"
+
+namespace bvl::mr {
+
+/// Sink for map/combine/reduce output.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void emit(std::string key, std::string value) = 0;
+};
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  /// Processes one record. Implementations bump workload-specific
+  /// counters (token_ops, compute_units) on `c`; the engine handles
+  /// record/byte accounting.
+  virtual void map(const Record& rec, Emitter& out, WorkCounters& c) = 0;
+};
+
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void reduce(const std::string& key, const std::vector<std::string>& values,
+                      Emitter& out, WorkCounters& c) = 0;
+};
+
+/// Generates the records of one input split at executed scale.
+class SplitSource {
+ public:
+  virtual ~SplitSource() = default;
+  /// Produces the next record; returns false when the split is
+  /// exhausted.
+  virtual bool next(Record& rec) = 0;
+};
+
+/// A complete application: how to read splits, map, combine, reduce,
+/// and partition. Implemented by each workload in src/workloads.
+class JobDefinition {
+ public:
+  virtual ~JobDefinition() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Opens split `block_id`, generating ~`exec_bytes` of input data
+  /// deterministically from `seed`.
+  virtual std::unique_ptr<SplitSource> open_split(std::uint64_t block_id, Bytes exec_bytes,
+                                                  std::uint64_t seed) const = 0;
+
+  virtual std::unique_ptr<Mapper> make_mapper() const = 0;
+
+  /// Null means a map-only job (the paper's Sort: sorting happens in
+  /// the map-side spill/merge path and there is no reduce phase).
+  virtual std::unique_ptr<Reducer> make_reducer() const { return nullptr; }
+
+  /// Null means no combiner.
+  virtual std::unique_ptr<Reducer> make_combiner() const { return nullptr; }
+
+  /// Pre-job work (TeraSort's input sampling); charge work to `c`.
+  /// `exec_bytes`/`seed` describe a representative sample split.
+  virtual void prepare(Bytes exec_bytes, std::uint64_t seed, WorkCounters& c) {
+    (void)exec_bytes;
+    (void)seed;
+    (void)c;
+  }
+
+  /// Routes a key to a reduce partition. Default: stable hash.
+  virtual int partition(std::string_view key, int num_reducers) const;
+
+  virtual int default_reducers() const { return 4; }
+
+  /// Whether the job enables map-output compression by default
+  /// (TeraSort's canonical tuning). JobConfig can override.
+  virtual bool compress_map_output() const { return false; }
+};
+
+/// FNV-1a; the default partitioner and the engine's grouping hash.
+std::uint64_t stable_hash(std::string_view s);
+
+}  // namespace bvl::mr

@@ -1,0 +1,52 @@
+#include "mapreduce/counters.hpp"
+
+#include "util/error.hpp"
+
+namespace bvl::mr {
+
+void WorkCounters::add(const WorkCounters& o) {
+  input_records += o.input_records;
+  input_bytes += o.input_bytes;
+  output_records += o.output_records;
+  output_bytes += o.output_bytes;
+  emits += o.emits;
+  emit_bytes += o.emit_bytes;
+  compares += o.compares;
+  hash_ops += o.hash_ops;
+  token_ops += o.token_ops;
+  compute_units += o.compute_units;
+  spills += o.spills;
+  spill_bytes += o.spill_bytes;
+  merge_read_bytes += o.merge_read_bytes;
+  disk_read_bytes += o.disk_read_bytes;
+  disk_write_bytes += o.disk_write_bytes;
+  disk_seeks += o.disk_seeks;
+  shuffle_bytes += o.shuffle_bytes;
+}
+
+WorkCounters WorkCounters::scaled(double s, double log_adjust, bool combiner_saturated) const {
+  require(s >= 1.0, "WorkCounters::scaled: scale must be >= 1");
+  require(log_adjust >= 1.0, "WorkCounters::scaled: log_adjust must be >= 1");
+  WorkCounters c = *this;
+  c.input_records *= s;
+  c.input_bytes *= s;
+  c.emits *= s;
+  c.emit_bytes *= s;
+  c.compares *= s * log_adjust;
+  c.hash_ops *= s;
+  c.token_ops *= s;
+  c.compute_units *= s;
+  c.disk_read_bytes *= s;
+  // spills, disk_seeks: structural, unchanged.
+  if (!combiner_saturated) {
+    c.output_records *= s;
+    c.output_bytes *= s;
+    c.spill_bytes *= s;
+    c.merge_read_bytes *= s;
+    c.disk_write_bytes *= s;
+    c.shuffle_bytes *= s;
+  }
+  return c;
+}
+
+}  // namespace bvl::mr

@@ -1,0 +1,60 @@
+// Work counters: the engine's equivalent of Hadoop job counters.
+//
+// Everything the timing overlay needs is accumulated here while the
+// workload code actually executes. Counters are collected at a
+// reduced "executed" scale and rescaled to the logical data size (see
+// Engine), preserving structural quantities (spill count, merge depth)
+// exactly and linear quantities proportionally.
+#pragma once
+
+#include <cstdint>
+
+namespace bvl::mr {
+
+struct WorkCounters {
+  // Record flow.
+  double input_records = 0;
+  double input_bytes = 0;
+  double output_records = 0;
+  double output_bytes = 0;
+  double emits = 0;        ///< map/combiner output pairs
+  double emit_bytes = 0;
+
+  // Compute structure.
+  double compares = 0;      ///< comparator invocations (sorts + merges)
+  double hash_ops = 0;      ///< hash-table probes (combiner, grouping, partition)
+  double token_ops = 0;     ///< tokenizer / field-parse operations
+  double compute_units = 0; ///< workload-specific heavy ops (FP-tree visits, model updates)
+
+  // I/O structure.
+  double spills = 0;           ///< spill events in map tasks
+  double spill_bytes = 0;      ///< bytes written during spills
+  double merge_read_bytes = 0; ///< bytes re-read for spill merges
+  double disk_read_bytes = 0;  ///< HDFS/local reads
+  double disk_write_bytes = 0; ///< HDFS/local writes
+  double disk_seeks = 0;       ///< random ops
+  double shuffle_bytes = 0;    ///< map->reduce network volume
+
+  void add(const WorkCounters& o);
+
+  /// Rescales executed counters to logical scale: linear fields are
+  /// multiplied by `s`; comparator work additionally by `log_adjust`
+  /// (n log n vs n/s log n/s); structural counts (spills, seeks) are
+  /// preserved as-is because the buffer was scaled alongside the data.
+  ///
+  /// When `combiner_saturated` is set, post-combine quantities
+  /// (spill/merge/output/write volumes) are scale-INVARIANT: a
+  /// saturated combiner collapses every spill window to the same
+  /// fixed key set, so a larger window changes the pre-combine work
+  /// but not the combined output (WordCount's output is the
+  /// vocabulary regardless of corpus size).
+  WorkCounters scaled(double s, double log_adjust, bool combiner_saturated = false) const;
+
+  /// Total bytes hitting the storage device (reads + writes + spill
+  /// traffic).
+  double total_disk_bytes() const {
+    return disk_read_bytes + disk_write_bytes + spill_bytes + merge_read_bytes;
+  }
+};
+
+}  // namespace bvl::mr

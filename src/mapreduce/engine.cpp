@@ -1,0 +1,161 @@
+#include "mapreduce/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hdfs/dfs.hpp"
+#include "mapreduce/map_task.hpp"
+#include "mapreduce/merge.hpp"
+#include "mapreduce/reduce_task.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace bvl::mr {
+
+namespace {
+
+/// log-ratio correction for comparator counts: sorting N records in
+/// buffer-sized chunks costs ~N log2(B); at executed scale the chunk
+/// is B/s, so scaled comparisons need the log2(B)/log2(B/s) factor.
+double log_adjust_for(Bytes logical_buffer, Bytes exec_buffer) {
+  double lo = std::log2(std::max<double>(4.0, static_cast<double>(exec_buffer)));
+  double hi = std::log2(std::max<double>(4.0, static_cast<double>(logical_buffer)));
+  return std::max(1.0, hi / lo);
+}
+
+std::uint64_t task_seed(std::uint64_t job_seed, std::uint64_t block_id) {
+  // SplitMix64-style mix so adjacent blocks decorrelate.
+  std::uint64_t z = job_seed + 0x9e3779b97f4a7c15ULL * (block_id + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+JobTrace Engine::run(JobDefinition& def, const JobConfig& cfg,
+                     const std::function<void(const KV&)>& output_sink) const {
+  require(cfg.input_size > 0, "Engine::run: zero input size");
+  require(cfg.block_size > 0, "Engine::run: zero block size");
+  require(cfg.sim_scale >= 1.0, "Engine::run: sim_scale must be >= 1");
+  require(cfg.spill_buffer > 0, "Engine::run: zero spill buffer");
+
+  JobTrace trace;
+  trace.workload = def.name();
+  trace.config = cfg;
+
+  const bool map_only = cfg.num_reducers == 0 || def.make_reducer() == nullptr;
+  int reducers = map_only ? 0 : (cfg.num_reducers > 0 ? cfg.num_reducers : def.default_reducers());
+  trace.config.num_reducers = reducers;
+  trace.config.compress_map_output = cfg.compress_map_output || def.compress_map_output();
+
+  auto blocks = hdfs::plan_blocks(cfg.input_size, cfg.block_size);
+  Bytes exec_buffer =
+      std::max<Bytes>(kMinExecBuffer,
+                      static_cast<Bytes>(static_cast<double>(cfg.spill_buffer) / cfg.sim_scale));
+  double log_adj = log_adjust_for(cfg.spill_buffer, exec_buffer);
+
+  // Pre-job preparation (TeraSort sampling). Executed at sample scale;
+  // its work is small and charged unscaled to the setup phase.
+  {
+    Bytes sample_bytes = std::max<Bytes>(
+        kMinExecSplit,
+        static_cast<Bytes>(static_cast<double>(std::min(cfg.block_size, cfg.input_size)) /
+                           cfg.sim_scale));
+    def.prepare(sample_bytes, task_seed(cfg.seed, 0xABCDEF), trace.setup);
+  }
+
+  log_info("engine: job=", trace.workload, " blocks=", blocks.size(), " reducers=", reducers,
+           " sim_scale=", cfg.sim_scale);
+
+  // ---- Map phase ----
+  const bool has_combiner = cfg.use_combiner && def.make_combiner() != nullptr;
+  std::vector<std::vector<KV>> map_outputs;
+  map_outputs.reserve(blocks.size());
+  double total_exec_input = 0;
+  double total_logical_input = 0;
+
+  for (const auto& blk : blocks) {
+    Bytes exec_bytes = std::max<Bytes>(
+        kMinExecSplit, static_cast<Bytes>(static_cast<double>(blk.length) / cfg.sim_scale));
+    MapTaskResult r =
+        run_map_task(def, blk.id, exec_bytes, exec_buffer, cfg.use_combiner,
+                     task_seed(cfg.seed, blk.id));
+
+    // Map-side partitioning cost (one hash per surviving output pair).
+    if (!map_only) r.counters.hash_ops += static_cast<double>(r.output.size());
+
+    // Map-only jobs write their merged output straight to HDFS. When
+    // the task spilled more than once, the collector's final merge
+    // pass already wrote the merged file (charged in close()), and
+    // committing it to HDFS is a rename — don't charge the volume
+    // twice.
+    if (map_only) {
+      double out_bytes = run_bytes(r.output);
+      r.counters.output_records += static_cast<double>(r.output.size());
+      r.counters.output_bytes += out_bytes;
+      if (r.counters.spills <= 1) r.counters.disk_write_bytes += out_bytes;
+      if (output_sink)
+        for (const auto& kv : r.output) output_sink(kv);
+    }
+
+    double exec_in = std::max(1.0, r.counters.input_bytes);
+    double task_scale = std::max(1.0, static_cast<double>(blk.length) / exec_in);
+    total_exec_input += exec_in;
+    total_logical_input += static_cast<double>(blk.length);
+
+    // Combiner saturation: when the combiner collapses the emit
+    // stream several-fold at executed scale, the key space is
+    // exhausted and a larger (logical) window collapses to the same
+    // combined output — post-combine volumes must not scale.
+    bool saturated = has_combiner &&
+                     r.counters.emits >= 3.0 * std::max(1.0, static_cast<double>(r.output.size()));
+    trace.combiner_saturated = trace.combiner_saturated || saturated;
+
+    TaskTrace t;
+    t.counters = r.counters.scaled(task_scale, log_adj, saturated);
+    t.logical_bytes = blk.length;
+    trace.map_tasks.push_back(std::move(t));
+    if (!map_only) map_outputs.push_back(std::move(r.output));
+  }
+
+  // ---- Shuffle + reduce phase ----
+  if (!map_only) {
+    double global_scale = std::max(1.0, total_logical_input / std::max(1.0, total_exec_input));
+
+    // Route each map output pair to its reduce partition.
+    std::vector<std::vector<std::vector<KV>>> segments(
+        static_cast<std::size_t>(reducers));
+    for (auto& seg : segments) seg.resize(map_outputs.size());
+    for (std::size_t m = 0; m < map_outputs.size(); ++m) {
+      for (auto& kv : map_outputs[m]) {
+        int p = def.partition(kv.key, reducers);
+        require(p >= 0 && p < reducers, "Engine::run: partition out of range");
+        segments[static_cast<std::size_t>(p)][m].push_back(std::move(kv));
+      }
+    }
+    map_outputs.clear();
+
+    // A saturated combiner means the reduce side sees the same data
+    // at any scale: its counters are already logical.
+    double reduce_scale = trace.combiner_saturated ? 1.0 : global_scale;
+    double reduce_adj = trace.combiner_saturated ? 1.0 : log_adj;
+    for (int r = 0; r < reducers; ++r) {
+      ReduceTaskResult res = run_reduce_task(def, std::move(segments[static_cast<std::size_t>(r)]));
+      if (output_sink)
+        for (const auto& kv : res.output) output_sink(kv);
+      TaskTrace t;
+      t.counters = res.counters.scaled(reduce_scale, reduce_adj);
+      t.logical_bytes = static_cast<Bytes>(t.counters.shuffle_bytes);
+      trace.reduce_tasks.push_back(std::move(t));
+    }
+  }
+
+  // Cleanup bookkeeping: committing output, deleting temp spills. The
+  // wall-clock cost is modeled in perf from DfsConfig; here we only
+  // note the structural seeks.
+  trace.cleanup.disk_seeks = static_cast<double>(trace.map_tasks.size() + trace.reduce_tasks.size());
+  return trace;
+}
+
+}  // namespace bvl::mr

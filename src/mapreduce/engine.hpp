@@ -1,0 +1,37 @@
+// The MapReduce engine: plans input splits from the HDFS block size,
+// executes every map task (really running the workload's code over
+// generated data), shuffles, executes reduce tasks, and emits a
+// logical-scale JobTrace.
+//
+// Scaled execution: for large logical inputs the engine executes
+// input_size / sim_scale bytes per split with a proportionally scaled
+// spill buffer, then rescales the counters (WorkCounters::scaled).
+// Scaling both the data and the buffer preserves the job's structure
+// exactly — spill count, merge fan-in, tasks, waves — while linear
+// work rescales proportionally. Tests verify scaled and unscaled runs
+// agree.
+#pragma once
+
+#include <functional>
+
+#include "mapreduce/api.hpp"
+#include "mapreduce/job.hpp"
+#include "mapreduce/trace.hpp"
+
+namespace bvl::mr {
+
+class Engine {
+ public:
+  /// Floor on executed bytes per split, so tiny scaled splits still
+  /// exercise real code.
+  static constexpr Bytes kMinExecSplit = 4 * KB;
+  static constexpr Bytes kMinExecBuffer = 2 * KB;
+
+  /// Runs `def` under `cfg`; returns the logical-scale trace.
+  /// If `output_sink` is set, job output records (executed scale) are
+  /// streamed to it — examples use this to show real results.
+  JobTrace run(JobDefinition& def, const JobConfig& cfg,
+               const std::function<void(const KV&)>& output_sink = nullptr) const;
+};
+
+}  // namespace bvl::mr

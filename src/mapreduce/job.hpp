@@ -1,0 +1,44 @@
+// Job configuration: the tuning knobs the paper sweeps plus engine
+// scaling parameters.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace bvl::mr {
+
+struct JobConfig {
+  /// Logical input size per node (the paper runs 1/10/20 GB per node).
+  Bytes input_size = 1 * GB;
+
+  /// HDFS block size: the paper's system-level knob (32-512 MB).
+  Bytes block_size = 128 * MB;
+
+  /// Reduce task count; 0 forces map-only regardless of the job
+  /// definition (engine uses definition default when < 0).
+  int num_reducers = -1;
+
+  /// Map-side sort buffer (mapreduce.task.io.sort.mb); spills happen
+  /// when the buffered output exceeds it.
+  Bytes spill_buffer = 100 * MB;
+
+  bool use_combiner = true;
+
+  /// mapreduce.map.output.compress: spills, the merged map output and
+  /// the shuffle travel compressed (the standard TeraSort tuning).
+  /// The engine still executes on raw data; the perf overlay divides
+  /// intermediate byte volumes by `compression_ratio` and charges the
+  /// codec's CPU cost per uncompressed byte.
+  bool compress_map_output = false;
+  double compression_ratio = 3.5;
+
+  /// Logical-to-executed ratio: the engine actually executes
+  /// input_size / sim_scale bytes of generated data per node and
+  /// rescales the counters. 1 executes everything.
+  double sim_scale = 1.0;
+
+  std::uint64_t seed = 42;
+};
+
+}  // namespace bvl::mr

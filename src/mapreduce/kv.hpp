@@ -1,0 +1,32 @@
+// Record and key/value types flowing through the MapReduce engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bvl::mr {
+
+/// An input record as produced by a record reader: key is the
+/// position-like key (e.g. line offset), value is the payload line/row.
+struct Record {
+  std::string key;
+  std::string value;
+
+  std::size_t bytes() const { return key.size() + value.size(); }
+};
+
+/// Intermediate and output key/value pair.
+struct KV {
+  std::string key;
+  std::string value;
+
+  /// Serialized footprint: payload plus the framing Hadoop's
+  /// IFile-style containers add per pair.
+  std::size_t bytes() const { return key.size() + value.size() + kFramingBytes; }
+
+  static constexpr std::size_t kFramingBytes = 8;
+};
+
+inline bool kv_key_less(const KV& a, const KV& b) { return a.key < b.key; }
+
+}  // namespace bvl::mr

@@ -1,0 +1,115 @@
+#include "mapreduce/map_task.hpp"
+
+#include <utility>
+
+#include "mapreduce/merge.hpp"
+#include "util/error.hpp"
+
+namespace bvl::mr {
+
+MapOutputCollector::MapOutputCollector(Bytes spill_threshold, Reducer* combiner, WorkCounters& c)
+    : threshold_(spill_threshold), combiner_(combiner), c_(c) {
+  require(threshold_ > 0, "MapOutputCollector: zero spill threshold");
+}
+
+void MapOutputCollector::emit(std::string key, std::string value) {
+  KV kv{std::move(key), std::move(value)};
+  std::size_t b = kv.bytes();
+  c_.emits += 1;
+  c_.emit_bytes += static_cast<double>(b);
+  buffered_bytes_ += b;
+  buffer_.push_back(std::move(kv));
+  if (buffered_bytes_ >= threshold_) spill();
+}
+
+void MapOutputCollector::sort_and_combine(std::vector<KV>& run) {
+  counting_sort_run(run, c_);
+  if (combiner_ == nullptr || run.empty()) return;
+
+  // Group adjacent equal keys and feed each group to the combiner.
+  std::vector<KV> combined;
+  combined.reserve(run.size() / 2 + 1);
+
+  // Inline emitter capturing combiner output (already key-grouped, so
+  // output order stays sorted as long as the combiner emits the group
+  // key, which Hadoop requires).
+  struct VecEmitter final : Emitter {
+    std::vector<KV>* out;
+    void emit(std::string key, std::string value) override {
+      out->push_back({std::move(key), std::move(value)});
+    }
+  } emitter;
+  emitter.out = &combined;
+
+  std::size_t i = 0;
+  while (i < run.size()) {
+    std::size_t j = i + 1;
+    while (j < run.size() && run[j].key == run[i].key) ++j;
+    std::vector<std::string> values;
+    values.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) values.push_back(std::move(run[k].value));
+    c_.hash_ops += 1;  // one group lookup per distinct key
+    combiner_->reduce(run[i].key, values, emitter, c_);
+    i = j;
+  }
+  run = std::move(combined);
+}
+
+void MapOutputCollector::spill() {
+  if (buffer_.empty()) return;
+  std::vector<KV> run = std::move(buffer_);
+  buffer_.clear();
+  buffered_bytes_ = 0;
+  sort_and_combine(run);
+  double bytes = run_bytes(run);
+  c_.spills += 1;
+  c_.spill_bytes += bytes;
+  c_.disk_seeks += 1;
+  ++spill_count_;
+  runs_.push_back(std::move(run));
+}
+
+std::vector<KV> MapOutputCollector::close() {
+  spill();
+  if (runs_.empty()) return {};
+  if (runs_.size() == 1) return std::move(runs_.front());
+
+  // Multi-spill: Hadoop re-reads every spill file and writes one
+  // merged map-output file.
+  double total = 0;
+  for (const auto& r : runs_) total += run_bytes(r);
+  c_.merge_read_bytes += total;
+  c_.disk_write_bytes += total;
+  c_.disk_seeks += static_cast<double>(runs_.size());
+  std::vector<KV> merged = merge_runs(std::move(runs_), c_);
+  runs_.clear();
+  return merged;
+}
+
+MapTaskResult run_map_task(const JobDefinition& def, std::uint64_t block_id, Bytes exec_bytes,
+                           Bytes exec_spill_buffer, bool use_combiner, std::uint64_t seed) {
+  MapTaskResult result;
+  WorkCounters& c = result.counters;
+
+  auto source = def.open_split(block_id, exec_bytes, seed);
+  require(source != nullptr, "run_map_task: null split source");
+  auto mapper = def.make_mapper();
+  require(mapper != nullptr, "run_map_task: null mapper");
+  std::unique_ptr<Reducer> combiner = use_combiner ? def.make_combiner() : nullptr;
+
+  MapOutputCollector collector(exec_spill_buffer, combiner.get(), c);
+
+  Record rec;
+  while (source->next(rec)) {
+    double b = static_cast<double>(rec.bytes());
+    c.input_records += 1;
+    c.input_bytes += b;
+    c.disk_read_bytes += b;  // HDFS block read
+    mapper->map(rec, collector, c);
+  }
+  c.disk_seeks += 1;  // block open
+  result.output = collector.close();
+  return result;
+}
+
+}  // namespace bvl::mr

@@ -1,0 +1,60 @@
+// Map task execution: record reader -> Mapper -> sort buffer with
+// spill/merge, optionally running a combiner at each spill, exactly
+// mirroring Hadoop's map-side pipeline. This is where the paper's
+// block-size effects come from: a bigger block feeds more output
+// through a fixed-size sort buffer, producing more spills and a deeper
+// final merge ("if map task has to handle more than one spill, more
+// read/write operations will be required", Sec. 3.1.1).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mapreduce/api.hpp"
+#include "mapreduce/counters.hpp"
+#include "mapreduce/kv.hpp"
+
+namespace bvl::mr {
+
+/// Map-side output collector: buffers emits, spills sorted (and
+/// combined) runs when the buffer threshold is exceeded, and merges
+/// the runs at close.
+class MapOutputCollector final : public Emitter {
+ public:
+  /// `spill_threshold` is the executed-scale buffer size in bytes;
+  /// `combiner` may be null.
+  MapOutputCollector(Bytes spill_threshold, Reducer* combiner, WorkCounters& c);
+
+  void emit(std::string key, std::string value) override;
+
+  /// Final spill + merge of all runs; returns the single sorted,
+  /// combined output run.
+  std::vector<KV> close();
+
+  std::size_t spill_count() const { return spill_count_; }
+
+ private:
+  void spill();
+  /// Sorts + combines `run` in place (no-op combine when combiner_
+  /// is null).
+  void sort_and_combine(std::vector<KV>& run);
+
+  Bytes threshold_;
+  Reducer* combiner_;
+  WorkCounters& c_;
+  std::vector<KV> buffer_;
+  std::size_t buffered_bytes_ = 0;
+  std::vector<std::vector<KV>> runs_;
+  std::size_t spill_count_ = 0;
+};
+
+struct MapTaskResult {
+  WorkCounters counters;   ///< executed-scale counters
+  std::vector<KV> output;  ///< sorted map output (post-combine)
+};
+
+/// Runs one map task over the split produced by `def.open_split`.
+MapTaskResult run_map_task(const JobDefinition& def, std::uint64_t block_id, Bytes exec_bytes,
+                           Bytes exec_spill_buffer, bool use_combiner, std::uint64_t seed);
+
+}  // namespace bvl::mr

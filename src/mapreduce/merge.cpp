@@ -1,0 +1,62 @@
+#include "mapreduce/merge.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace bvl::mr {
+
+std::vector<KV> merge_runs(std::vector<std::vector<KV>> runs, WorkCounters& c) {
+  // Drop empty runs up front.
+  runs.erase(std::remove_if(runs.begin(), runs.end(),
+                            [](const std::vector<KV>& r) { return r.empty(); }),
+             runs.end());
+  if (runs.empty()) return {};
+  if (runs.size() == 1) return std::move(runs.front());
+
+  struct Cursor {
+    const std::vector<KV>* run;
+    std::size_t idx;
+  };
+  auto* compares = &c.compares;
+  auto cmp = [compares](const Cursor& a, const Cursor& b) {
+    ++*compares;
+    // priority_queue is a max-heap; invert for ascending merge.
+    return (*a.run)[a.idx].key > (*b.run)[b.idx].key;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> heap(cmp);
+  std::size_t total = 0;
+  for (const auto& r : runs) {
+    total += r.size();
+    heap.push({&r, 0});
+  }
+
+  std::vector<KV> out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    Cursor cur = heap.top();
+    heap.pop();
+    out.push_back((*cur.run)[cur.idx]);
+    if (cur.idx + 1 < cur.run->size()) heap.push({cur.run, cur.idx + 1});
+  }
+  return out;
+}
+
+void counting_sort_run(std::vector<KV>& run, WorkCounters& c) {
+  auto* compares = &c.compares;
+  std::stable_sort(run.begin(), run.end(), [compares](const KV& a, const KV& b) {
+    ++*compares;
+    return a.key < b.key;
+  });
+}
+
+double run_bytes(const std::vector<KV>& run) {
+  double b = 0;
+  for (const auto& kv : run) b += static_cast<double>(kv.bytes());
+  return b;
+}
+
+bool is_sorted_run(const std::vector<KV>& run) {
+  return std::is_sorted(run.begin(), run.end(), kv_key_less);
+}
+
+}  // namespace bvl::mr

@@ -1,0 +1,26 @@
+// Counting k-way merge of sorted KV runs. Comparator invocations are
+// charged to WorkCounters::compares so merge cost scales with run
+// count exactly as Hadoop's spill-merge does (n log k).
+#pragma once
+
+#include <vector>
+
+#include "mapreduce/counters.hpp"
+#include "mapreduce/kv.hpp"
+
+namespace bvl::mr {
+
+/// Merges sorted runs into one sorted vector, counting comparator
+/// calls on `c.compares`. Runs are consumed (moved from).
+std::vector<KV> merge_runs(std::vector<std::vector<KV>> runs, WorkCounters& c);
+
+/// Sorts `run` in place by key, counting comparator calls.
+void counting_sort_run(std::vector<KV>& run, WorkCounters& c);
+
+/// Total serialized bytes of a run.
+double run_bytes(const std::vector<KV>& run);
+
+/// True when the run is non-decreasing by key.
+bool is_sorted_run(const std::vector<KV>& run);
+
+}  // namespace bvl::mr

@@ -1,0 +1,55 @@
+#include "mapreduce/reduce_task.hpp"
+
+#include "mapreduce/merge.hpp"
+#include "util/error.hpp"
+
+namespace bvl::mr {
+
+ReduceTaskResult run_reduce_task(const JobDefinition& def,
+                                 std::vector<std::vector<KV>> segments) {
+  ReduceTaskResult result;
+  WorkCounters& c = result.counters;
+
+  auto reducer = def.make_reducer();
+  require(reducer != nullptr, "run_reduce_task: job has no reducer");
+
+  // Shuffle accounting: every segment byte crosses the network and is
+  // staged on the reduce side before merging.
+  double fetched = 0;
+  for (const auto& seg : segments) fetched += run_bytes(seg);
+  c.shuffle_bytes += fetched;
+  c.merge_read_bytes += fetched;
+  c.disk_seeks += static_cast<double>(segments.size());
+
+  std::vector<KV> merged = merge_runs(std::move(segments), c);
+
+  struct VecEmitter final : Emitter {
+    std::vector<KV>* out;
+    void emit(std::string key, std::string value) override {
+      out->push_back({std::move(key), std::move(value)});
+    }
+  } emitter;
+  emitter.out = &result.output;
+
+  std::size_t i = 0;
+  while (i < merged.size()) {
+    std::size_t j = i + 1;
+    while (j < merged.size() && merged[j].key == merged[i].key) ++j;
+    std::vector<std::string> values;
+    values.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) values.push_back(std::move(merged[k].value));
+    c.hash_ops += 1;  // grouping advance per distinct key
+    reducer->reduce(merged[i].key, values, emitter, c);
+    i = j;
+  }
+
+  for (const auto& kv : result.output) {
+    c.output_records += 1;
+    double b = static_cast<double>(kv.bytes());
+    c.output_bytes += b;
+    c.disk_write_bytes += b;  // HDFS output write
+  }
+  return result;
+}
+
+}  // namespace bvl::mr

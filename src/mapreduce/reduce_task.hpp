@@ -1,0 +1,25 @@
+// Reduce task execution: fetch the task's partition segments from
+// every map output (shuffle), merge the sorted segments, group equal
+// keys, run the Reducer, and write job output. Shuffle volume and
+// merge traffic are charged to the reduce task's counters, matching
+// Hadoop's accounting (shuffle time is part of the reduce phase).
+#pragma once
+
+#include <vector>
+
+#include "mapreduce/api.hpp"
+#include "mapreduce/counters.hpp"
+#include "mapreduce/kv.hpp"
+
+namespace bvl::mr {
+
+struct ReduceTaskResult {
+  WorkCounters counters;   ///< executed-scale counters
+  std::vector<KV> output;  ///< job output records from this task
+};
+
+/// `segments` are the sorted per-map-task slices routed to this
+/// reduce partition; they are consumed.
+ReduceTaskResult run_reduce_task(const JobDefinition& def, std::vector<std::vector<KV>> segments);
+
+}  // namespace bvl::mr

@@ -1,0 +1,25 @@
+#include "mapreduce/trace.hpp"
+
+namespace bvl::mr {
+
+WorkCounters JobTrace::map_total() const {
+  WorkCounters total;
+  for (const auto& t : map_tasks) total.add(t.counters);
+  return total;
+}
+
+WorkCounters JobTrace::reduce_total() const {
+  WorkCounters total;
+  for (const auto& t : reduce_tasks) total.add(t.counters);
+  return total;
+}
+
+WorkCounters JobTrace::job_total() const {
+  WorkCounters total = map_total();
+  total.add(reduce_total());
+  total.add(setup);
+  total.add(cleanup);
+  return total;
+}
+
+}  // namespace bvl::mr

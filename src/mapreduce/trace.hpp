@@ -1,0 +1,44 @@
+// Job execution trace: per-task logical-scale work counters, the
+// input the timing/energy overlay (src/perf) consumes. A JobTrace is
+// machine-independent — the same trace is priced on Xeon and Atom at
+// every frequency, which is how one engine execution serves a whole
+// characterization sweep.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mapreduce/counters.hpp"
+#include "mapreduce/job.hpp"
+
+namespace bvl::mr {
+
+struct TaskTrace {
+  WorkCounters counters;    ///< logical-scale counters
+  Bytes logical_bytes = 0;  ///< logical input bytes this task covered
+};
+
+struct JobTrace {
+  std::string workload;
+  JobConfig config;  ///< with num_reducers resolved
+  std::vector<TaskTrace> map_tasks;
+  std::vector<TaskTrace> reduce_tasks;
+  WorkCounters setup;    ///< pre-job work (e.g. TeraSort sampling)
+  WorkCounters cleanup;  ///< post-job bookkeeping
+
+  /// True when the job's combiner saturated its key space (emits >>
+  /// combined output): post-combine volumes were treated as
+  /// scale-invariant during counter rescaling (see
+  /// WorkCounters::scaled).
+  bool combiner_saturated = false;
+
+  std::size_t num_map_tasks() const { return map_tasks.size(); }
+  std::size_t num_reduce_tasks() const { return reduce_tasks.size(); }
+
+  WorkCounters map_total() const;
+  WorkCounters reduce_total() const;
+  WorkCounters job_total() const;
+};
+
+}  // namespace bvl::mr

@@ -1,0 +1,26 @@
+#include "perf/meter_bridge.hpp"
+
+#include "util/error.hpp"
+
+namespace bvl::perf {
+
+power::PowerMeter replay_into_meter(const RunResult& run, Watts idle_power,
+                                    Seconds sample_period) {
+  require(idle_power >= 0, "replay_into_meter: negative idle power");
+  power::PowerMeter meter(sample_period);
+  // Hadoop runs setup first, then the map waves, then shuffle+reduce.
+  meter.record(run.other.time, idle_power + run.other.dynamic_power);
+  meter.record(run.map.time, idle_power + run.map.dynamic_power);
+  meter.record(run.reduce.time, idle_power + run.reduce.dynamic_power);
+  return meter;
+}
+
+Watts metered_dynamic_power(const RunResult& run, Watts idle_power) {
+  return replay_into_meter(run, idle_power).average_dynamic_power(idle_power);
+}
+
+Joules metered_dynamic_energy(const RunResult& run, Watts idle_power) {
+  return replay_into_meter(run, idle_power).dynamic_energy(idle_power);
+}
+
+}  // namespace bvl::perf

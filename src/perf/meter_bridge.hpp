@@ -1,0 +1,27 @@
+// Bridges a priced run to the Watts-up meter emulation: replays the
+// run's phases as a piecewise-constant wall-power profile, samples it
+// at 1 Hz, and applies the paper's average-minus-idle methodology —
+// the full measurement loop of Sec. 1.1, end to end. Tests verify the
+// metered dynamic energy converges to the model's exact energy.
+#pragma once
+
+#include "perf/perf_model.hpp"
+#include "power/power_meter.hpp"
+
+namespace bvl::perf {
+
+/// Replays `run` into a meter: one segment per phase (map, reduce,
+/// other) at that phase's wall power (idle + dynamic).
+power::PowerMeter replay_into_meter(const RunResult& run, Watts idle_power,
+                                    Seconds sample_period = 1.0);
+
+/// The quantity the paper reports: average dynamic power from the
+/// 1 Hz samples, idle subtracted.
+Watts metered_dynamic_power(const RunResult& run, Watts idle_power);
+
+/// Metered dynamic energy (avg dynamic power x wall time); converges
+/// to RunResult::total_energy() for runs much longer than the sample
+/// period.
+Joules metered_dynamic_energy(const RunResult& run, Watts idle_power);
+
+}  // namespace bvl::perf

@@ -1,0 +1,264 @@
+#include "perf/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bvl::perf {
+
+namespace {
+
+double instructions_for(const mr::WorkCounters& c, const PhaseCosts& k,
+                        const arch::StorageModel& storage, double device_bytes) {
+  double inst = 0;
+  inst += k.per_record * c.input_records;
+  inst += k.per_token * c.token_ops;
+  inst += k.per_emit * c.emits;
+  inst += k.per_compare * c.compares;
+  inst += k.per_hash * c.hash_ops;
+  inst += k.per_compute_unit * c.compute_units;
+  inst += k.per_input_byte * c.input_bytes;
+  inst += k.per_output_byte * (c.output_bytes + c.spill_bytes);
+  inst += storage.kernel_instructions(static_cast<Bytes>(device_bytes));
+  return inst;
+}
+
+}  // namespace
+
+PhaseResult PhaseResult::combine(const PhaseResult& a, const PhaseResult& b) {
+  PhaseResult r;
+  r.time = a.time + b.time;
+  r.cpu_time = a.cpu_time + b.cpu_time;
+  r.io_time = a.io_time + b.io_time;
+  r.net_time = a.net_time + b.net_time;
+  r.energy = a.energy + b.energy;
+  r.dynamic_power = r.time > 0 ? r.energy / r.time : 0.0;
+  r.avg_ipc = r.time > 0 ? (a.avg_ipc * a.time + b.avg_ipc * b.time) / r.time : 0.0;
+  return r;
+}
+
+PhaseResult RunResult::whole() const {
+  return PhaseResult::combine(PhaseResult::combine(map, reduce), other);
+}
+
+struct PerfModel::PhaseWork {
+  const arch::Signature* sig = nullptr;
+  const PhaseCosts* costs = nullptr;
+  int ntasks = 0;
+  double total_inst = 0;
+  double ws_bytes = 64.0 * 1024;  ///< per-task working set
+  double device_bytes = 0;        ///< bytes hitting the shared disk
+  double seeks = 0;
+  double net_bytes = 0;
+  double mem_refs_per_inst = 0.35;
+  double locality_theta = 0.8;
+  Seconds fixed_s = 0;  ///< unconditional wall time (job setup etc.)
+};
+
+PerfModel::PerfModel(arch::ServerConfig server, hdfs::DfsConfig dfs, ClusterConfig cluster)
+    : server_(std::move(server)),
+      dfs_(dfs),
+      cluster_(cluster),
+      core_model_(server_.make_core_model()),
+      storage_(server_.storage),
+      power_(server_) {
+  require(cluster_.nodes >= 1, "PerfModel: at least one node");
+  require(cluster_.net_mbps > 0, "PerfModel: non-positive network rate");
+}
+
+double PerfModel::signature_ipc(const arch::Signature& sig, double ws_bytes, Hertz freq) const {
+  return core_model_.ipc(sig, ws_bytes, freq, 1);
+}
+
+PhaseResult PerfModel::price_phase(const PhaseWork& w, Hertz freq, int slots) const {
+  PhaseResult r;
+  if (w.ntasks == 0 && w.fixed_s == 0 && w.total_inst == 0) return r;
+
+  int active = std::max(1, std::min({slots, std::max(1, w.ntasks), server_.cores}));
+  double waves = w.ntasks > 0
+                     ? std::ceil(static_cast<double>(w.ntasks) / static_cast<double>(active))
+                     : 0.0;
+
+  // CPU component: waves of parallel tasks plus launch overhead.
+  Seconds cpu = 0;
+  double ipc = 1.0;
+  if (w.ntasks > 0 && w.total_inst > 0) {
+    double mean_inst = w.total_inst / static_cast<double>(w.ntasks);
+    arch::CpiBreakdown cpi = core_model_.cpi(*w.sig, w.ws_bytes, freq, active);
+    ipc = cpi.ipc();
+    cpu = waves * (mean_inst * cpi.total() / freq);
+  } else if (w.total_inst > 0) {
+    arch::CpiBreakdown cpi = core_model_.cpi(*w.sig, w.ws_bytes, freq, 1);
+    ipc = cpi.ipc();
+    cpu = w.total_inst * cpi.total() / freq;
+  }
+  // Task launch (JVM fork, class loading) is CPU work: the little
+  // core pays its launch factor, and launches speed up with f — one
+  // reason Atom is more sensitive to both frequency and block size.
+  double launch = dfs_.per_task_overhead_s * server_.task_launch_factor *
+                  (1.8 * GHz / freq);
+  cpu += waves * launch;
+  cpu += static_cast<double>(w.ntasks) * cluster_.master_per_task_s;
+
+  // I/O component: one shared device per node.
+  Seconds io = storage_.transfer_time(static_cast<Bytes>(w.device_bytes),
+                                      static_cast<std::uint64_t>(w.seeks));
+
+  // Network component: shuffle crossing the NIC at this node's
+  // sustainable rate.
+  Seconds net = w.net_bytes / (cluster_.net_mbps * 1e6 * server_.network_efficiency);
+
+  Seconds longest = std::max({cpu, io, net});
+  Seconds rest = cpu + io + net - longest;
+  r.time = w.fixed_s + longest + cluster_.overlap_penalty * rest;
+  r.cpu_time = cpu;
+  r.io_time = io;
+  r.net_time = net;
+  r.avg_ipc = ipc;
+
+  if (r.time > 0) {
+    // DRAM traffic estimate for the power model: LLC misses move
+    // lines, plus the I/O path is DMA through memory.
+    double llc_miss =
+        w.sig ? core_model_.caches().llc_miss_ratio(w.ws_bytes, w.locality_theta, active) : 0.05;
+    double dram_bytes = w.total_inst * w.mem_refs_per_inst * llc_miss * 64.0 + w.device_bytes;
+    power::SystemLoad load;
+    load.active_cores = w.ntasks > 0 ? active : 1;
+    load.avg_ipc = ipc;
+    load.mem_gbps = dram_bytes / r.time / 1e9;
+    load.disk_duty = std::clamp(io / r.time, 0.0, 1.0);
+    r.dynamic_power = power_.dynamic_power(load, freq);
+    r.energy = r.dynamic_power * r.time;
+  }
+  return r;
+}
+
+RunResult PerfModel::price(const mr::JobTrace& trace, Hertz freq, int slots) const {
+  require(freq > 0, "PerfModel::price: non-positive frequency");
+  if (slots <= 0) slots = server_.cores;
+
+  const WorkloadCalibration& cal = calibration_for(trace.workload);
+  RunResult result;
+  result.workload = trace.workload;
+  result.server = server_.name;
+  result.freq = freq;
+  result.block_size = trace.config.block_size;
+  result.input_size = trace.config.input_size;
+  result.mappers = slots;
+
+  double cache_bytes = cluster_.page_cache_fraction *
+                       static_cast<double>(server_.memory.capacity);
+  // Input reads are served from the page cache for the fraction of
+  // the per-node dataset that fits (both servers carry 8 GB): at
+  // 1 GB/node reads are nearly free on either machine, while at
+  // 10-20 GB/node the cache overflows and the disk gap opens — the
+  // mechanism behind the paper's data-size sensitivity (Sec. 3.3).
+  double read_miss = std::clamp(
+      1.0 - cache_bytes / std::max(1.0, static_cast<double>(trace.config.input_size)), 0.05, 1.0);
+
+  // ---- Map phase ----
+  {
+    PhaseWork w;
+    w.sig = &cal.map_sig;
+    w.costs = &cal.map_costs;
+    w.ntasks = static_cast<int>(trace.num_map_tasks());
+    w.mem_refs_per_inst = cal.map_sig.mem_refs_per_inst;
+    w.locality_theta = cal.map_sig.locality_theta;
+
+    // Map-output compression (mapreduce.map.output.compress): spills,
+    // the merged map output, and the shuffle shrink by the codec
+    // ratio; the codec itself costs CPU per uncompressed byte. For a
+    // map-only job disk_write_bytes is final HDFS output and stays
+    // uncompressed.
+    const bool compress = trace.config.compress_map_output;
+    const bool map_only = trace.reduce_tasks.empty();
+    const double cf = compress ? 1.0 / trace.config.compression_ratio : 1.0;
+    constexpr double kCodecInstPerByte = 0.8;
+
+    double ws_acc = 0;
+    for (const auto& t : trace.map_tasks) {
+      const auto& c = t.counters;
+      double spill_dev = c.spill_bytes * cf;
+      double write_dev = map_only ? c.disk_write_bytes : c.disk_write_bytes * cf;
+      // Spill re-reads hit the device only for the fraction the page
+      // cache (shared by active tasks) cannot hold.
+      double cache_share = cache_bytes / std::max(1, std::min(slots, w.ntasks));
+      double spill_vol = std::max(1.0, spill_dev);
+      double merge_miss = std::clamp(1.0 - cache_share / spill_vol, 0.0, 1.0);
+      double device = c.disk_read_bytes * read_miss + write_dev + spill_dev +
+                      c.merge_read_bytes * cf * merge_miss;
+      w.device_bytes += device;
+      w.seeks += c.disk_seeks;
+      w.total_inst += instructions_for(c, cal.map_costs, storage_, device);
+      if (compress) w.total_inst += kCodecInstPerByte * (c.spill_bytes + c.merge_read_bytes);
+      // Resident map state = one post-combine spill run (the live
+      // buffer region), not the raw emit stream: WordCount's combine
+      // table is tiny while Sort's buffer is the full spill size.
+      double run_size = c.spills > 0 ? c.spill_bytes / c.spills : c.emit_bytes;
+      double resident = std::min(static_cast<double>(trace.config.spill_buffer), run_size);
+      double ws = 512.0 * 1024 + cal.map_sig.working_set_per_input_byte * resident;
+      ws_acc += std::min(ws, cal.map_sig.ws_cap_bytes);
+    }
+    if (!trace.map_tasks.empty()) ws_acc /= static_cast<double>(trace.map_tasks.size());
+    w.ws_bytes = std::max(512.0 * 1024, ws_acc);
+    result.map = price_phase(w, freq, slots);
+  }
+
+  // ---- Reduce phase (includes shuffle) ----
+  if (!trace.reduce_tasks.empty()) {
+    PhaseWork w;
+    w.sig = &cal.reduce_sig;
+    w.costs = &cal.reduce_costs;
+    w.ntasks = static_cast<int>(trace.num_reduce_tasks());
+    w.mem_refs_per_inst = cal.reduce_sig.mem_refs_per_inst;
+    w.locality_theta = cal.reduce_sig.locality_theta;
+
+    const bool compress = trace.config.compress_map_output;
+    const double cf = compress ? 1.0 / trace.config.compression_ratio : 1.0;
+    constexpr double kCodecInstPerByte = 0.8;
+
+    double ws_acc = 0;
+    for (const auto& t : trace.reduce_tasks) {
+      const auto& c = t.counters;
+      double cache_share = cache_bytes / std::max(1, std::min(slots, w.ntasks));
+      double merge_vol = std::max(1.0, c.merge_read_bytes * cf);
+      double merge_miss = std::clamp(1.0 - cache_share / merge_vol, 0.0, 1.0);
+      double device =
+          c.disk_read_bytes * read_miss + c.disk_write_bytes + c.merge_read_bytes * cf * merge_miss;
+      w.device_bytes += device;
+      w.seeks += c.disk_seeks;
+      w.net_bytes += c.shuffle_bytes * cf * (static_cast<double>(cluster_.nodes - 1) /
+                                             static_cast<double>(cluster_.nodes));
+      w.total_inst += instructions_for(c, cal.reduce_costs, storage_, device);
+      if (compress) w.total_inst += kCodecInstPerByte * c.shuffle_bytes;
+      double resident = 0.5 * c.shuffle_bytes + 0.3 * c.output_bytes;
+      double ws = 512.0 * 1024 + cal.reduce_sig.working_set_per_input_byte * resident;
+      ws_acc += std::min(ws, cal.reduce_sig.ws_cap_bytes);
+    }
+    ws_acc /= static_cast<double>(trace.reduce_tasks.size());
+    w.ws_bytes = std::max(512.0 * 1024, ws_acc);
+    result.reduce = price_phase(w, freq, slots);
+  }
+
+  // ---- Setup / cleanup ("Others") ----
+  {
+    PhaseWork w;
+    w.sig = &framework_signature();
+    w.costs = &cal.map_costs;
+    w.ntasks = 0;
+    double device = trace.setup.disk_read_bytes + trace.setup.disk_write_bytes;
+    w.device_bytes = device;
+    w.seeks = trace.setup.disk_seeks + trace.cleanup.disk_seeks;
+    w.total_inst = instructions_for(trace.setup, cal.map_costs, storage_, device) +
+                   instructions_for(trace.cleanup, cal.map_costs, storage_, 0.0);
+    w.fixed_s = dfs_.job_setup_s + dfs_.job_cleanup_s;
+    w.mem_refs_per_inst = framework_signature().mem_refs_per_inst;
+    w.locality_theta = framework_signature().locality_theta;
+    result.other = price_phase(w, freq, slots);
+  }
+
+  return result;
+}
+
+}  // namespace bvl::perf

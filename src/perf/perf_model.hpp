@@ -1,0 +1,99 @@
+// The timing/energy overlay: prices a machine-independent JobTrace on
+// a concrete server at a concrete operating point, reproducing the
+// paper's measurement pipeline (wall-clock per MapReduce phase +
+// Watts-up dynamic power).
+//
+// Phase time model (per node):
+//   cpu  = waves(tasks/slots) * mean task CPU time
+//          + task-launch overhead per wave + serialized master cost
+//   io   = one shared device: total bytes (after page cache) + seeks
+//   net  = shuffle volume crossing the NIC (reduce phase)
+//   time = max(cpu, io, net) + (1 - overlap) * rest
+// so compute-bound phases parallelize with slots while I/O-bound
+// phases saturate the disk — the mechanism behind every block-size
+// and core-count trend in the paper.
+#pragma once
+
+#include <string>
+
+#include "arch/server_config.hpp"
+#include "hdfs/dfs.hpp"
+#include "mapreduce/trace.hpp"
+#include "perf/calibration.hpp"
+#include "power/power_model.hpp"
+
+namespace bvl::perf {
+
+/// Cluster-level parameters shared by both server types (the paper
+/// runs 3-node clusters on the same network and DRAM size).
+struct ClusterConfig {
+  int nodes = 3;
+  double net_mbps = 117.0;  ///< effective 1 GbE payload rate
+  /// Fraction of DRAM usable as page cache for input re-reads.
+  double page_cache_fraction = 0.55;
+  /// Fraction of the smaller of (cpu, io) that cannot be overlapped.
+  double overlap_penalty = 0.30;
+  /// Serialized master interaction per task (seconds).
+  Seconds master_per_task_s = 0.15;
+};
+
+struct PhaseResult {
+  Seconds time = 0;
+  Seconds cpu_time = 0;   ///< parallel-CPU component
+  Seconds io_time = 0;    ///< shared-disk component
+  Seconds net_time = 0;   ///< network component
+  Watts dynamic_power = 0;
+  Joules energy = 0;      ///< dynamic energy (paper methodology)
+  double avg_ipc = 0;
+
+  /// Weighted combination of phases (time adds; power is the
+  /// time-weighted mean).
+  static PhaseResult combine(const PhaseResult& a, const PhaseResult& b);
+};
+
+struct RunResult {
+  std::string workload;
+  std::string server;
+  Hertz freq = 0;
+  Bytes block_size = 0;
+  Bytes input_size = 0;
+  int mappers = 0;
+
+  PhaseResult map;
+  PhaseResult reduce;
+  PhaseResult other;  ///< setup + cleanup + sampling
+
+  Seconds total_time() const { return map.time + reduce.time + other.time; }
+  Joules total_energy() const { return map.energy + reduce.energy + other.energy; }
+  PhaseResult whole() const;
+};
+
+class PerfModel {
+ public:
+  PerfModel(arch::ServerConfig server, hdfs::DfsConfig dfs = {}, ClusterConfig cluster = {});
+
+  /// Prices `trace` at frequency `freq` with `slots` concurrent task
+  /// slots (the paper's "number of mappers = number of cores").
+  /// `slots` defaults to the server's core count.
+  RunResult price(const mr::JobTrace& trace, Hertz freq, int slots = 0) const;
+
+  const arch::ServerConfig& server() const { return server_; }
+  const ClusterConfig& cluster() const { return cluster_; }
+
+  /// Steady-state IPC of a signature on this server at `freq` for a
+  /// given working set (used by the Fig. 1 suite comparison).
+  double signature_ipc(const arch::Signature& sig, double ws_bytes, Hertz freq) const;
+
+ private:
+  struct PhaseWork;
+  PhaseResult price_phase(const PhaseWork& w, Hertz freq, int slots) const;
+
+  arch::ServerConfig server_;
+  hdfs::DfsConfig dfs_;
+  ClusterConfig cluster_;
+  arch::CoreModel core_model_;
+  arch::StorageModel storage_;
+  power::PowerModel power_;
+};
+
+}  // namespace bvl::perf

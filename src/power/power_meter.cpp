@@ -1,0 +1,66 @@
+#include "power/power_meter.hpp"
+
+#include "util/error.hpp"
+
+namespace bvl::power {
+
+PowerMeter::PowerMeter(Seconds sample_period) : period_(sample_period) {
+  require(period_ > 0.0, "PowerMeter: sample period must be positive");
+}
+
+void PowerMeter::record(Seconds duration, Watts total_power) {
+  require(duration >= 0.0, "PowerMeter: negative duration");
+  require(total_power >= 0.0, "PowerMeter: negative power");
+  if (duration == 0.0) return;
+  segments_.push_back({duration, total_power});
+  elapsed_ += duration;
+}
+
+Joules PowerMeter::energy() const {
+  Joules e = 0.0;
+  for (const auto& s : segments_) e += s.duration * s.total_power;
+  return e;
+}
+
+std::vector<PowerSample> PowerMeter::samples() const {
+  std::vector<PowerSample> out;
+  if (segments_.empty()) return out;
+  Seconds t = period_;  // first sample lands one period in
+  std::size_t seg = 0;
+  Seconds seg_end = segments_[0].duration;
+  while (t <= elapsed_ + 1e-12) {
+    while (seg + 1 < segments_.size() && t > seg_end + 1e-12) {
+      ++seg;
+      seg_end += segments_[seg].duration;
+    }
+    out.push_back({t, segments_[seg].total_power});
+    t += period_;
+  }
+  if (out.empty()) {
+    // Run shorter than one sample period: the meter still logs one
+    // reading at the end of the run.
+    out.push_back({elapsed_, segments_.back().total_power});
+  }
+  return out;
+}
+
+Watts PowerMeter::average_dynamic_power(Watts idle_power) const {
+  require(idle_power >= 0.0, "PowerMeter: negative idle power");
+  auto ss = samples();
+  if (ss.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : ss) sum += s.power;
+  double avg = sum / static_cast<double>(ss.size());
+  return avg > idle_power ? avg - idle_power : 0.0;
+}
+
+Joules PowerMeter::dynamic_energy(Watts idle_power) const {
+  return average_dynamic_power(idle_power) * elapsed_;
+}
+
+void PowerMeter::reset() {
+  segments_.clear();
+  elapsed_ = 0.0;
+}
+
+}  // namespace bvl::power

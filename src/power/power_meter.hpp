@@ -1,0 +1,59 @@
+// Watts-up-PRO-style power meter emulation.
+//
+// The real meter samples wall power once per second; the paper
+// averages the samples over a run and subtracts idle to get dynamic
+// power. This class consumes the simulator's piecewise-constant power
+// profile, produces the 1 Hz sample stream a meter would show, and
+// applies the identical averaging methodology. Exact energy
+// integration is also available (and tests check the sampled estimate
+// converges to it for long runs).
+#pragma once
+
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace bvl::power {
+
+struct PowerSegment {
+  Seconds duration = 0;
+  Watts total_power = 0;  ///< wall power including idle
+};
+
+struct PowerSample {
+  Seconds time = 0;  ///< sample timestamp
+  Watts power = 0;
+};
+
+class PowerMeter {
+ public:
+  explicit PowerMeter(Seconds sample_period = 1.0);
+
+  /// Appends a run segment during which wall power was constant.
+  void record(Seconds duration, Watts total_power);
+
+  Seconds elapsed() const { return elapsed_; }
+
+  /// Exact energy integral over all segments (joules, wall).
+  Joules energy() const;
+
+  /// The 1 Hz sample stream a Watts up PRO would log. Each sample
+  /// reports the power at its timestamp.
+  std::vector<PowerSample> samples() const;
+
+  /// Paper methodology: mean of the samples minus idle = average
+  /// dynamic power of the run.
+  Watts average_dynamic_power(Watts idle_power) const;
+
+  /// Dynamic energy estimate: average dynamic power x elapsed time.
+  Joules dynamic_energy(Watts idle_power) const;
+
+  void reset();
+
+ private:
+  Seconds period_;
+  Seconds elapsed_ = 0;
+  std::vector<PowerSegment> segments_;
+};
+
+}  // namespace bvl::power

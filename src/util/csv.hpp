@@ -1,0 +1,26 @@
+// Minimal CSV writer so benches can optionally dump machine-readable
+// series next to the human-readable tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bvl {
+
+/// Writes RFC-4180-ish CSV rows to an ostream. Fields containing
+/// commas, quotes, or newlines are quoted.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Escapes a single field per CSV quoting rules.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace bvl

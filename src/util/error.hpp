@@ -1,0 +1,20 @@
+// Library-wide exception type and precondition check helper.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bvl {
+
+/// Thrown on invalid configuration or violated preconditions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws bvl::Error with `msg` when `cond` is false.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw Error(msg);
+}
+
+}  // namespace bvl

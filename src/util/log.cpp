@@ -1,0 +1,20 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace bvl {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+}
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  const char* tag = level == LogLevel::kDebug ? "debug" : level == LogLevel::kInfo ? "info" : "warn";
+  std::cerr << "[bvl:" << tag << "] " << msg << '\n';
+}
+
+}  // namespace bvl

@@ -1,0 +1,44 @@
+// Tiny leveled logger. Off by default so tests and benches stay quiet;
+// examples flip it on to narrate what the engine is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bvl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `msg` to stderr when `level` passes the threshold.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void fold(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void fold(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  fold(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() > LogLevel::kInfo) return;
+  std::ostringstream os;
+  detail::fold(os, args...);
+  log_message(LogLevel::kInfo, os.str());
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() > LogLevel::kDebug) return;
+  std::ostringstream os;
+  detail::fold(os, args...);
+  log_message(LogLevel::kDebug, os.str());
+}
+
+}  // namespace bvl

@@ -1,0 +1,61 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bvl {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Pcg32::next_u32() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31u));
+}
+
+std::uint64_t Pcg32::next_u64() {
+  return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+}
+
+double Pcg32::next_double() {
+  // 53 random bits -> [0,1).
+  return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::uint64_t Pcg32::uniform(std::uint64_t lo, std::uint64_t hi) {
+  require(lo <= hi, "Pcg32::uniform: lo > hi");
+  std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next_u64();  // full range
+  return lo + next_u64() % span;
+}
+
+double Pcg32::uniform_real(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+bool Pcg32::chance(double p) { return next_double() < p; }
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : cdf_(n), s_(s) {
+  require(n > 0, "ZipfSampler: empty support");
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+std::size_t ZipfSampler::sample(Pcg32& rng) const {
+  double u = rng.next_double();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace bvl

@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (data generation, placement
+// jitter) flows through Pcg32 so experiments are exactly reproducible
+// from a seed. Zipf sampling is provided for text-corpus generation:
+// word frequencies in natural text are Zipf-distributed, which is what
+// makes WordCount's combiner effective and Grep's matches sparse.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bvl {
+
+/// PCG-XSH-RR 32-bit generator (O'Neill 2014). Small state, good
+/// statistical quality, fully deterministic across platforms.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  std::uint32_t next_u32();
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p);
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^s
+/// using a precomputed inverse CDF table. Suitable for vocabulary sizes
+/// up to a few hundred thousand.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t sample(Pcg32& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return s_; }
+
+ private:
+  std::vector<double> cdf_;
+  double s_;
+};
+
+}  // namespace bvl

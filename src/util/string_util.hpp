@@ -1,0 +1,37 @@
+// Small string helpers used by record readers and the Grep/WordCount
+// tokenizers. Kept allocation-light: tokenization walks string_views.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bvl {
+
+/// Splits on a single delimiter; empty fields preserved.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Whitespace tokenizer (space/tab/newline); empty tokens skipped.
+std::vector<std::string_view> tokenize(std::string_view s);
+
+/// Calls `fn(token)` per whitespace-separated token without building a
+/// vector — the hot path for WordCount over large splits.
+template <typename Fn>
+void for_each_token(std::string_view s, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !(s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) ++i;
+    if (i > start) fn(s.substr(start, i - start));
+  }
+}
+
+std::string to_lower(std::string_view s);
+
+/// True when `s` contains `needle` (plain substring search).
+bool contains(std::string_view s, std::string_view needle);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace bvl

@@ -1,0 +1,42 @@
+// ASCII table rendering for the benchmark harnesses. The benches print
+// each paper table/figure as an aligned text table so the series can be
+// compared to the paper by eye or diffed between runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bvl {
+
+/// Column-aligned text table. Cells are strings; numeric formatting
+/// helpers are below.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   app    freq    time
+  ///   -----  ------  ------
+  ///   WC     1.2     12.3
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal, e.g. fmt_fixed(3.14159, 2) == "3.14".
+std::string fmt_fixed(double v, int precision);
+
+/// Scientific notation matching the paper's Table 3 style,
+/// e.g. fmt_sci(4.2e5) == "4.20E+05".
+std::string fmt_sci(double v);
+
+/// Compact general-purpose number (trims trailing zeros).
+std::string fmt_num(double v);
+
+}  // namespace bvl

@@ -1,0 +1,156 @@
+#include "workloads/datagen.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace bvl::wl {
+
+namespace {
+constexpr char kConsonants[] = "bcdfghjklmnpqrstvwz";
+constexpr char kVowels[] = "aeiou";
+
+std::string pseudo_word(Pcg32& rng) {
+  int syllables = static_cast<int>(rng.uniform(1, 4));
+  std::string w;
+  for (int s = 0; s < syllables; ++s) {
+    w += kConsonants[rng.uniform(0, sizeof kConsonants - 2)];
+    w += kVowels[rng.uniform(0, sizeof kVowels - 2)];
+  }
+  return w;
+}
+}  // namespace
+
+Vocabulary::Vocabulary(std::size_t size, std::uint64_t seed) {
+  require(size > 0, "Vocabulary: empty");
+  Pcg32 rng(seed, 0x1234);
+  std::set<std::string> seen;
+  words_.reserve(size);
+  while (words_.size() < size) {
+    std::string w = pseudo_word(rng);
+    // Disambiguate collisions with a numeric suffix so the vocabulary
+    // has exactly `size` distinct words.
+    if (!seen.insert(w).second) {
+      w += std::to_string(words_.size());
+      seen.insert(w);
+    }
+    words_.push_back(std::move(w));
+  }
+}
+
+LineSource::LineSource(Bytes target_bytes, std::uint64_t seed)
+    : target_(target_bytes), rng_(seed, 0xbeef) {
+  require(target_ > 0, "LineSource: zero target");
+}
+
+bool LineSource::next(mr::Record& rec) {
+  if (produced_ >= target_) return false;
+  rec.key = std::to_string(line_no_++);
+  rec.value = make_line(rng_);
+  produced_ += rec.bytes();
+  return true;
+}
+
+TextSource::TextSource(Bytes target_bytes, std::uint64_t seed, std::size_t vocab, double zipf_s,
+                       int words_per_line)
+    : LineSource(target_bytes, seed),
+      vocab_(std::make_shared<Vocabulary>(vocab, /*seed=*/7)),
+      zipf_(vocab, zipf_s),
+      words_per_line_(words_per_line) {
+  require(words_per_line_ > 0, "TextSource: zero words per line");
+}
+
+std::string TextSource::make_line(Pcg32& rng) {
+  std::string line;
+  for (int i = 0; i < words_per_line_; ++i) {
+    if (i) line += ' ';
+    line += vocab_->word(zipf_.sample(rng));
+  }
+  return line;
+}
+
+TableSource::TableSource(Bytes target_bytes, std::uint64_t seed, int key_len, int payload_len)
+    : LineSource(target_bytes, seed), key_len_(key_len), payload_len_(payload_len) {
+  require(key_len_ > 0 && payload_len_ >= 0, "TableSource: bad field lengths");
+}
+
+std::string TableSource::make_line(Pcg32& rng) {
+  std::string line;
+  line.reserve(static_cast<std::size_t>(key_len_ + payload_len_ + 1));
+  for (int i = 0; i < key_len_; ++i)
+    line += static_cast<char>('a' + rng.uniform(0, 25));
+  line += '\t';
+  for (int i = 0; i < payload_len_; ++i)
+    line += static_cast<char>('A' + rng.uniform(0, 25));
+  return line;
+}
+
+TeraGenSource::TeraGenSource(Bytes target_bytes, std::uint64_t seed)
+    : LineSource(target_bytes, seed) {}
+
+std::string TeraGenSource::make_line(Pcg32& rng) {
+  std::string line;
+  line.reserve(kKeyLen + 1 + kPayloadLen);
+  for (int i = 0; i < kKeyLen; ++i)
+    line += static_cast<char>(' ' + rng.uniform(0, 94));  // printable ASCII
+  line += '\t';
+  line.append(kPayloadLen, 'X');
+  return line;
+}
+
+LabeledDocSource::LabeledDocSource(Bytes target_bytes, std::uint64_t seed, int num_labels,
+                                   std::size_t vocab, int words_per_doc)
+    : LineSource(target_bytes, seed),
+      vocab_(std::make_shared<Vocabulary>(vocab, /*seed=*/7)),
+      zipf_(vocab, 1.05),
+      num_labels_(num_labels),
+      words_per_doc_(words_per_doc) {
+  require(num_labels_ > 0, "LabeledDocSource: no labels");
+}
+
+std::string LabeledDocSource::label_name(int label) { return "class" + std::to_string(label); }
+
+std::string LabeledDocSource::make_line(Pcg32& rng) {
+  int label = static_cast<int>(rng.uniform(0, static_cast<std::uint64_t>(num_labels_ - 1)));
+  std::string line = label_name(label);
+  line += '\t';
+  for (int i = 0; i < words_per_doc_; ++i) {
+    if (i) line += ' ';
+    // Shift the rank by a per-label offset so each class has its own
+    // characteristic head words.
+    std::size_t rank = (zipf_.sample(rng) + static_cast<std::size_t>(label) * 37) % vocab_->size();
+    line += vocab_->word(rank);
+  }
+  return line;
+}
+
+TransactionSource::TransactionSource(Bytes target_bytes, std::uint64_t seed, std::size_t num_items,
+                                     double zipf_s, int min_items, int max_items)
+    : LineSource(target_bytes, seed),
+      zipf_(num_items, zipf_s),
+      min_items_(min_items),
+      max_items_(max_items) {
+  require(min_items_ >= 1 && max_items_ >= min_items_, "TransactionSource: bad basket bounds");
+}
+
+std::string TransactionSource::make_line(Pcg32& rng) {
+  int n = static_cast<int>(
+      rng.uniform(static_cast<std::uint64_t>(min_items_), static_cast<std::uint64_t>(max_items_)));
+  std::set<std::size_t> basket;  // sorted ascending = descending support
+  int attempts = 0;
+  while (static_cast<int>(basket.size()) < n && attempts < 4 * n) {
+    basket.insert(zipf_.sample(rng));
+    ++attempts;
+  }
+  std::string line;
+  bool first = true;
+  for (std::size_t item : basket) {
+    if (!first) line += ' ';
+    line += std::to_string(item);
+    first = false;
+  }
+  return line;
+}
+
+}  // namespace bvl::wl

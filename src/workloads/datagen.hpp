@@ -1,0 +1,129 @@
+// Deterministic input-data generators.
+//
+// The paper's inputs: text corpora (WordCount, Grep), tabular rows
+// (Sort), TeraGen output (TeraSort), labeled documents (Naive Bayes /
+// Mahout), and transaction baskets (FP-Growth / Mahout). Each
+// generator produces the same byte stream for the same (seed, split)
+// pair, so every experiment is exactly reproducible. Word frequencies
+// are Zipf-distributed — the property that makes WordCount's combiner
+// effective and keeps Grep's match rate low.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mapreduce/api.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace bvl::wl {
+
+/// Shared synthetic vocabulary: deterministic pseudo-words, index =
+/// Zipf rank (0 is the most frequent word).
+class Vocabulary {
+ public:
+  Vocabulary(std::size_t size, std::uint64_t seed);
+
+  const std::string& word(std::size_t rank) const { return words_.at(rank); }
+  std::size_t size() const { return words_.size(); }
+
+ private:
+  std::vector<std::string> words_;
+};
+
+/// Base for generated split sources: subclasses produce one line per
+/// next() until the byte target is met.
+class LineSource : public mr::SplitSource {
+ public:
+  LineSource(Bytes target_bytes, std::uint64_t seed);
+
+  bool next(mr::Record& rec) final;
+
+ protected:
+  virtual std::string make_line(Pcg32& rng) = 0;
+
+ private:
+  Bytes target_;
+  Bytes produced_ = 0;
+  std::uint64_t line_no_ = 0;
+  Pcg32 rng_;
+};
+
+/// Zipf text: lines of `words_per_line` words drawn from a shared
+/// vocabulary.
+class TextSource final : public LineSource {
+ public:
+  TextSource(Bytes target_bytes, std::uint64_t seed, std::size_t vocab = 500,
+             double zipf_s = 1.05, int words_per_line = 10);
+
+ protected:
+  std::string make_line(Pcg32& rng) override;
+
+ private:
+  std::shared_ptr<const Vocabulary> vocab_;
+  ZipfSampler zipf_;
+  int words_per_line_;
+};
+
+/// Tabular rows "key\tpayload" with uniform random keys (Sort input).
+class TableSource final : public LineSource {
+ public:
+  TableSource(Bytes target_bytes, std::uint64_t seed, int key_len = 12, int payload_len = 80);
+
+ protected:
+  std::string make_line(Pcg32& rng) override;
+
+ private:
+  int key_len_;
+  int payload_len_;
+};
+
+/// TeraGen-style rows: 10-byte printable key + fixed filler payload.
+class TeraGenSource final : public LineSource {
+ public:
+  TeraGenSource(Bytes target_bytes, std::uint64_t seed);
+  static constexpr int kKeyLen = 10;
+  static constexpr int kPayloadLen = 88;
+
+ protected:
+  std::string make_line(Pcg32& rng) override;
+};
+
+/// Labeled documents "label\tword word ..." for Naive Bayes. Word
+/// distribution is shifted per label so classes are separable.
+class LabeledDocSource final : public LineSource {
+ public:
+  LabeledDocSource(Bytes target_bytes, std::uint64_t seed, int num_labels = 5,
+                   std::size_t vocab = 500, int words_per_doc = 14);
+
+  static std::string label_name(int label);
+
+ protected:
+  std::string make_line(Pcg32& rng) override;
+
+ private:
+  std::shared_ptr<const Vocabulary> vocab_;
+  ZipfSampler zipf_;
+  int num_labels_;
+  int words_per_doc_;
+};
+
+/// Market-basket transactions: space-separated item ids, each basket
+/// sorted by global frequency rank (ascending id = descending
+/// support), as FP-Growth expects.
+class TransactionSource final : public LineSource {
+ public:
+  TransactionSource(Bytes target_bytes, std::uint64_t seed, std::size_t num_items = 1000,
+                    double zipf_s = 1.1, int min_items = 4, int max_items = 14);
+
+ protected:
+  std::string make_line(Pcg32& rng) override;
+
+ private:
+  ZipfSampler zipf_;
+  int min_items_;
+  int max_items_;
+};
+
+}  // namespace bvl::wl

@@ -1,0 +1,104 @@
+#include "workloads/fptree.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace bvl::wl {
+
+FpTree::FpTree(std::uint64_t min_support)
+    : min_support_(min_support), root_(std::make_unique<Node>()) {
+  require(min_support_ >= 1, "FpTree: min_support must be >= 1");
+}
+
+std::uint64_t FpTree::insert(const Transaction& t, std::uint64_t count) {
+  require(std::is_sorted(t.begin(), t.end()), "FpTree::insert: transaction must be sorted");
+  std::uint64_t visited = 0;
+  Node* cur = root_.get();
+  for (Item item : t) {
+    ++visited;
+    auto it = cur->children.find(item);
+    if (it == cur->children.end()) {
+      auto node = std::make_unique<Node>();
+      node->item = item;
+      node->parent = cur;
+      node->next_same_item = header_[item];
+      header_[item] = node.get();
+      ++nodes_;
+      it = cur->children.emplace(item, std::move(node)).first;
+    }
+    cur = it->second.get();
+    cur->count += count;
+    item_support_[item] += count;
+  }
+  return visited;
+}
+
+std::vector<Pattern> FpTree::mine(std::uint64_t* visits, std::size_t max_patterns) const {
+  std::vector<Pattern> out;
+  std::vector<Item> suffix;
+  mine_rec(suffix, out, visits, max_patterns);
+  return out;
+}
+
+void FpTree::mine_rec(std::vector<Item>& suffix, std::vector<Pattern>& out, std::uint64_t* visits,
+                      std::size_t max_patterns) const {
+  // Process items least-frequent-first (highest id first: ascending id
+  // encodes descending global support in our transaction encoding).
+  for (auto it = header_.rbegin(); it != header_.rend(); ++it) {
+    Item item = it->first;
+    auto sup_it = item_support_.find(item);
+    std::uint64_t support = sup_it == item_support_.end() ? 0 : sup_it->second;
+    if (support < min_support_) continue;
+    if (max_patterns != 0 && out.size() >= max_patterns) return;
+
+    Pattern p;
+    p.items = suffix;
+    p.items.push_back(item);
+    std::sort(p.items.begin(), p.items.end());
+    p.support = support;
+    out.push_back(p);
+
+    // Conditional pattern base: prefix paths of every node carrying
+    // this item.
+    FpTree cond(min_support_);
+    for (Node* node = it->second; node != nullptr; node = node->next_same_item) {
+      Transaction path;
+      for (Node* up = node->parent; up != nullptr && up->parent != nullptr; up = up->parent) {
+        path.push_back(up->item);
+        if (visits) ++*visits;
+      }
+      if (path.empty()) continue;
+      std::reverse(path.begin(), path.end());
+      std::uint64_t v = cond.insert(path, node->count);
+      if (visits) *visits += v;
+    }
+    suffix.push_back(item);
+    cond.mine_rec(suffix, out, visits, max_patterns);
+    suffix.pop_back();
+  }
+}
+
+Transaction parse_transaction(const std::string& line) {
+  Transaction t;
+  const char* p = line.data();
+  const char* end = p + line.size();
+  while (p < end) {
+    while (p < end && *p == ' ') ++p;
+    Item v = 0;
+    auto [next, ec] = std::from_chars(p, end, v);
+    if (ec == std::errc() && next != p) {
+      t.push_back(v);
+      p = next;
+    } else {
+      while (p < end && *p != ' ') ++p;  // skip junk token
+    }
+  }
+  std::sort(t.begin(), t.end());
+  t.erase(std::unique(t.begin(), t.end()), t.end());
+  return t;
+}
+
+}  // namespace bvl::wl

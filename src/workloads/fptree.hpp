@@ -1,0 +1,63 @@
+// FP-tree and FP-Growth frequent-itemset mining (Han et al. 2000),
+// the kernel of the paper's Mahout FP-Growth workload. A standalone,
+// fully tested implementation: the MapReduce wrapper (fpgrowth.hpp)
+// shards transactions Mahout-PFP-style and runs this miner per shard.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace bvl::wl {
+
+using Item = std::uint32_t;
+using Transaction = std::vector<Item>;  ///< items sorted by ascending id = descending support
+
+struct Pattern {
+  std::vector<Item> items;
+  std::uint64_t support = 0;
+};
+
+class FpTree {
+ public:
+  /// `min_support`: absolute occurrence threshold for mining.
+  explicit FpTree(std::uint64_t min_support);
+
+  /// Inserts one transaction (items must be pre-sorted ascending).
+  /// Returns the number of tree nodes visited/created — the
+  /// compute-unit metric the perf model charges.
+  std::uint64_t insert(const Transaction& t, std::uint64_t count = 1);
+
+  /// Mines all frequent patterns (recursive conditional-tree
+  /// FP-Growth). `visits` accumulates node visits. `max_patterns`
+  /// bounds output (0 = unbounded).
+  std::vector<Pattern> mine(std::uint64_t* visits = nullptr,
+                            std::size_t max_patterns = 0) const;
+
+  std::size_t node_count() const { return nodes_; }
+  std::uint64_t min_support() const { return min_support_; }
+
+ private:
+  struct Node {
+    Item item = 0;
+    std::uint64_t count = 0;
+    Node* parent = nullptr;
+    std::map<Item, std::unique_ptr<Node>> children;
+    Node* next_same_item = nullptr;  ///< header-table chain
+  };
+
+  void mine_rec(std::vector<Item>& suffix, std::vector<Pattern>& out, std::uint64_t* visits,
+                std::size_t max_patterns) const;
+
+  std::uint64_t min_support_;
+  std::unique_ptr<Node> root_;
+  std::map<Item, Node*> header_;            ///< item -> chain head
+  std::map<Item, std::uint64_t> item_support_;
+  std::size_t nodes_ = 1;
+};
+
+/// Parses "3 17 42" into a Transaction; non-numeric tokens skipped.
+Transaction parse_transaction(const std::string& line);
+
+}  // namespace bvl::wl

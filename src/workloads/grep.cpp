@@ -1,0 +1,52 @@
+#include "workloads/grep.hpp"
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+#include "workloads/datagen.hpp"
+#include "workloads/wordcount.hpp"
+
+namespace bvl::wl {
+
+namespace {
+class GrepMapper final : public mr::Mapper {
+ public:
+  explicit GrepMapper(std::string pattern) : pattern_(std::move(pattern)) {}
+
+  void map(const mr::Record& rec, mr::Emitter& out, mr::WorkCounters& c) override {
+    // The search phase: every byte of the line is scanned.
+    c.token_ops += static_cast<double>(rec.value.size()) / 8.0;
+    for_each_token(rec.value, [&](std::string_view tok) {
+      if (tok.find(pattern_) != std::string_view::npos) out.emit(std::string(tok), "1");
+    });
+  }
+
+ private:
+  std::string pattern_;
+};
+}  // namespace
+
+GrepJob::GrepJob(std::string pattern) : pattern_(std::move(pattern)) {
+  require(!pattern_.empty(), "GrepJob: empty pattern");
+}
+
+std::unique_ptr<mr::SplitSource> GrepJob::open_split(std::uint64_t block_id, Bytes exec_bytes,
+                                                     std::uint64_t seed) const {
+  return std::make_unique<TextSource>(exec_bytes, seed ^ block_id);
+}
+
+std::unique_ptr<mr::Mapper> GrepJob::make_mapper() const {
+  return std::make_unique<GrepMapper>(pattern_);
+}
+
+std::unique_ptr<mr::Reducer> GrepJob::make_reducer() const {
+  return std::make_unique<SumReducer>();
+}
+
+std::unique_ptr<mr::Reducer> GrepJob::make_combiner() const {
+  // Hadoop's grep example ships the raw match stream to the reduce
+  // side where the frequency sort happens; no combiner, which is what
+  // gives grep its hybrid search-then-sort character.
+  return nullptr;
+}
+
+}  // namespace bvl::wl

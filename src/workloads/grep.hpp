@@ -1,0 +1,30 @@
+// Grep: extracts user-pattern matches from text and sorts matches by
+// frequency — the paper's hybrid (search + sort) micro-benchmark. Map
+// scans each line for tokens containing the pattern and emits
+// (token, 1); combiner/reducer sum, giving per-match frequencies.
+#pragma once
+
+#include <string>
+
+#include "mapreduce/api.hpp"
+
+namespace bvl::wl {
+
+class GrepJob final : public mr::JobDefinition {
+ public:
+  explicit GrepJob(std::string pattern = "a");
+
+  std::string name() const override { return "Grep"; }
+  std::unique_ptr<mr::SplitSource> open_split(std::uint64_t block_id, Bytes exec_bytes,
+                                              std::uint64_t seed) const override;
+  std::unique_ptr<mr::Mapper> make_mapper() const override;
+  std::unique_ptr<mr::Reducer> make_reducer() const override;
+  std::unique_ptr<mr::Reducer> make_combiner() const override;
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  std::string pattern_;
+};
+
+}  // namespace bvl::wl

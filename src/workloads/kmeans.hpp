@@ -1,0 +1,45 @@
+// K-Means clustering (one Lloyd iteration per job), an extension
+// workload beyond the paper's six: the k-means kernel is the paper's
+// own example of an FPGA-accelerated Hadoop application (its ref.
+// [9]) and exercises a map phase that is pure floating-point distance
+// computation — a different signature corner than the six text/table
+// workloads. Map assigns each point to its nearest centroid and emits
+// (centroid, point); the reducer averages to produce new centroids.
+#pragma once
+
+#include <vector>
+
+#include "mapreduce/api.hpp"
+
+namespace bvl::wl {
+
+class KMeansJob final : public mr::JobDefinition {
+ public:
+  /// `k` clusters over `dims`-dimensional points; centroids are
+  /// seeded deterministically in prepare().
+  explicit KMeansJob(int k = 8, int dims = 8);
+
+  std::string name() const override { return "KMeans"; }
+  std::unique_ptr<mr::SplitSource> open_split(std::uint64_t block_id, Bytes exec_bytes,
+                                              std::uint64_t seed) const override;
+  std::unique_ptr<mr::Mapper> make_mapper() const override;
+  std::unique_ptr<mr::Reducer> make_reducer() const override;
+  std::unique_ptr<mr::Reducer> make_combiner() const override;
+  void prepare(Bytes exec_bytes, std::uint64_t seed, mr::WorkCounters& c) override;
+  int default_reducers() const override { return 4; }
+
+  int k() const { return k_; }
+  int dims() const { return dims_; }
+  const std::vector<std::vector<double>>& centroids() const { return centroids_; }
+
+ private:
+  int k_;
+  int dims_;
+  std::vector<std::vector<double>> centroids_;
+};
+
+/// Parses "v0 v1 ... v(d-1)" into a point; wrong-arity lines yield an
+/// empty vector.
+std::vector<double> parse_point(const std::string& line, int dims);
+
+}  // namespace bvl::wl

@@ -1,0 +1,96 @@
+#include "workloads/naive_bayes.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+#include "workloads/datagen.hpp"
+#include "workloads/wordcount.hpp"
+
+namespace bvl::wl {
+
+namespace {
+class NbMapper final : public mr::Mapper {
+ public:
+  void map(const mr::Record& rec, mr::Emitter& out, mr::WorkCounters& c) override {
+    std::size_t tab = rec.value.find('\t');
+    if (tab == std::string::npos) return;
+    std::string label = rec.value.substr(0, tab);
+    std::string_view body(rec.value);
+    body.remove_prefix(tab + 1);
+    out.emit(label + "|" + NaiveBayesJob::kDocCountKey, "1");
+    for_each_token(body, [&](std::string_view tok) {
+      c.token_ops += 1;
+      c.compute_units += 1;  // per-feature model update work
+      out.emit(label + "|" + std::string(tok), "1");
+    });
+  }
+};
+}  // namespace
+
+std::unique_ptr<mr::SplitSource> NaiveBayesJob::open_split(std::uint64_t block_id,
+                                                           Bytes exec_bytes,
+                                                           std::uint64_t seed) const {
+  return std::make_unique<LabeledDocSource>(exec_bytes, seed ^ block_id);
+}
+
+std::unique_ptr<mr::Mapper> NaiveBayesJob::make_mapper() const {
+  return std::make_unique<NbMapper>();
+}
+
+std::unique_ptr<mr::Reducer> NaiveBayesJob::make_reducer() const {
+  return std::make_unique<SumReducer>();
+}
+
+std::unique_ptr<mr::Reducer> NaiveBayesJob::make_combiner() const {
+  return std::make_unique<SumReducer>();
+}
+
+void NaiveBayesModel::add_count(const std::string& key, long long count) {
+  std::size_t bar = key.find('|');
+  require(bar != std::string::npos, "NaiveBayesModel: key missing label separator");
+  std::string label = key.substr(0, bar);
+  std::string token = key.substr(bar + 1);
+  if (token == NaiveBayesJob::kDocCountKey) {
+    label_docs_[label] += count;
+  } else {
+    counts_[label][token] += count;
+    label_tokens_[label] += count;
+  }
+}
+
+long long NaiveBayesModel::token_count(const std::string& label, const std::string& token) const {
+  auto lit = counts_.find(label);
+  if (lit == counts_.end()) return 0;
+  auto tit = lit->second.find(token);
+  return tit == lit->second.end() ? 0 : tit->second;
+}
+
+std::string NaiveBayesModel::classify(const std::vector<std::string>& tokens) const {
+  require(!label_docs_.empty(), "NaiveBayesModel: empty model");
+  long long total_docs = 0;
+  for (const auto& [label, docs] : label_docs_) total_docs += docs;
+
+  std::string best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (const auto& [label, docs] : label_docs_) {
+    double score = std::log(static_cast<double>(docs) / static_cast<double>(total_docs));
+    auto lt = label_tokens_.find(label);
+    double denom = static_cast<double>(lt == label_tokens_.end() ? 0 : lt->second);
+    // Laplace smoothing with the label's observed vocabulary size.
+    auto ct = counts_.find(label);
+    double vocab = ct == counts_.end() ? 1.0 : static_cast<double>(ct->second.size());
+    for (const auto& tok : tokens) {
+      double n = static_cast<double>(token_count(label, tok));
+      score += std::log((n + 1.0) / (denom + vocab));
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = label;
+    }
+  }
+  return best;
+}
+
+}  // namespace bvl::wl

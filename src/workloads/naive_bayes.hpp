@@ -1,0 +1,49 @@
+// Naive Bayes training (the paper's Mahout classification workload).
+// Map emits ("label|token", 1) per token and ("label|__doc__", 1) per
+// document; combiner/reducer sum, producing the count model a
+// multinomial NB classifier needs. NaiveBayesModel consumes the job
+// output and classifies documents (used by the examples and tests).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mapreduce/api.hpp"
+
+namespace bvl::wl {
+
+class NaiveBayesJob final : public mr::JobDefinition {
+ public:
+  std::string name() const override { return "NaiveBayes"; }
+  std::unique_ptr<mr::SplitSource> open_split(std::uint64_t block_id, Bytes exec_bytes,
+                                              std::uint64_t seed) const override;
+  std::unique_ptr<mr::Mapper> make_mapper() const override;
+  std::unique_ptr<mr::Reducer> make_reducer() const override;
+  std::unique_ptr<mr::Reducer> make_combiner() const override;
+  int default_reducers() const override { return 4; }
+
+  static constexpr const char* kDocCountKey = "__doc__";
+};
+
+/// Multinomial Naive Bayes classifier built from the training job's
+/// (label|token, count) output.
+class NaiveBayesModel {
+ public:
+  /// Adds one job output pair.
+  void add_count(const std::string& key, long long count);
+
+  /// Log-likelihood argmax over labels for a tokenized document.
+  /// Returns the winning label; throws if the model is empty.
+  std::string classify(const std::vector<std::string>& tokens) const;
+
+  std::size_t num_labels() const { return label_docs_.size(); }
+  long long token_count(const std::string& label, const std::string& token) const;
+
+ private:
+  std::map<std::string, std::map<std::string, long long>> counts_;  // label -> token -> n
+  std::map<std::string, long long> label_tokens_;                   // label -> total tokens
+  std::map<std::string, long long> label_docs_;                     // label -> docs
+};
+
+}  // namespace bvl::wl

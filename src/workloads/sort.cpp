@@ -1,0 +1,31 @@
+#include "workloads/sort.hpp"
+
+#include "workloads/datagen.hpp"
+
+namespace bvl::wl {
+
+namespace {
+class SortMapper final : public mr::Mapper {
+ public:
+  void map(const mr::Record& rec, mr::Emitter& out, mr::WorkCounters& c) override {
+    // Row format "key\tpayload": re-key on the data key so the
+    // spill/merge path produces sorted output.
+    std::size_t tab = rec.value.find('\t');
+    c.token_ops += 1;
+    if (tab == std::string::npos) {
+      out.emit(rec.value, "");
+      return;
+    }
+    out.emit(rec.value.substr(0, tab), rec.value.substr(tab + 1));
+  }
+};
+}  // namespace
+
+std::unique_ptr<mr::SplitSource> SortJob::open_split(std::uint64_t block_id, Bytes exec_bytes,
+                                                     std::uint64_t seed) const {
+  return std::make_unique<TableSource>(exec_bytes, seed ^ block_id);
+}
+
+std::unique_ptr<mr::Mapper> SortJob::make_mapper() const { return std::make_unique<SortMapper>(); }
+
+}  // namespace bvl::wl

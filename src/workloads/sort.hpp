@@ -1,0 +1,21 @@
+// Sort: the paper's I/O-intensive micro-benchmark. The map emits the
+// row key unchanged; sorting happens entirely in the map-side
+// spill/merge machinery. Matching the paper ("Note that Sort
+// benchmark has no reduce phase"), the job is map-only: the merged
+// sorted runs are written straight back to HDFS.
+#pragma once
+
+#include "mapreduce/api.hpp"
+
+namespace bvl::wl {
+
+class SortJob final : public mr::JobDefinition {
+ public:
+  std::string name() const override { return "Sort"; }
+  std::unique_ptr<mr::SplitSource> open_split(std::uint64_t block_id, Bytes exec_bytes,
+                                              std::uint64_t seed) const override;
+  std::unique_ptr<mr::Mapper> make_mapper() const override;
+  // No reducer: map-only job.
+};
+
+}  // namespace bvl::wl

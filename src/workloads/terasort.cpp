@@ -1,0 +1,91 @@
+#include "workloads/terasort.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "workloads/datagen.hpp"
+
+namespace bvl::wl {
+
+namespace {
+class TeraMapper final : public mr::Mapper {
+ public:
+  void map(const mr::Record& rec, mr::Emitter& out, mr::WorkCounters& c) override {
+    std::size_t tab = rec.value.find('\t');
+    c.token_ops += 1;
+    if (tab == std::string::npos) {
+      out.emit(rec.value, "");
+      return;
+    }
+    out.emit(rec.value.substr(0, tab), rec.value.substr(tab + 1));
+  }
+};
+
+class IdentityReducer final : public mr::Reducer {
+ public:
+  void reduce(const std::string& key, const std::vector<std::string>& values, mr::Emitter& out,
+              mr::WorkCounters& c) override {
+    for (const auto& v : values) {
+      c.compute_units += 1;
+      out.emit(key, v);
+    }
+  }
+};
+}  // namespace
+
+TeraSortJob::TeraSortJob(int reducers, std::size_t sample_records)
+    : reducers_(reducers), sample_records_(sample_records) {
+  require(reducers_ >= 1, "TeraSortJob: need at least one reducer");
+  require(sample_records_ >= static_cast<std::size_t>(reducers_),
+          "TeraSortJob: sample smaller than reducer count");
+}
+
+std::unique_ptr<mr::SplitSource> TeraSortJob::open_split(std::uint64_t block_id, Bytes exec_bytes,
+                                                         std::uint64_t seed) const {
+  return std::make_unique<TeraGenSource>(exec_bytes, seed ^ block_id);
+}
+
+std::unique_ptr<mr::Mapper> TeraSortJob::make_mapper() const {
+  return std::make_unique<TeraMapper>();
+}
+
+std::unique_ptr<mr::Reducer> TeraSortJob::make_reducer() const {
+  return std::make_unique<IdentityReducer>();
+}
+
+void TeraSortJob::prepare(Bytes exec_bytes, std::uint64_t seed, mr::WorkCounters& c) {
+  // Sample keys from a representative split, sort them, and take the
+  // (i * n / R)-th keys as cut points.
+  TeraGenSource source(exec_bytes, seed);
+  std::vector<std::string> keys;
+  mr::Record rec;
+  while (keys.size() < sample_records_ && source.next(rec)) {
+    std::size_t tab = rec.value.find('\t');
+    keys.push_back(tab == std::string::npos ? rec.value : rec.value.substr(0, tab));
+    c.input_records += 1;
+    c.input_bytes += static_cast<double>(rec.bytes());
+    c.disk_read_bytes += static_cast<double>(rec.bytes());
+  }
+  require(!keys.empty(), "TeraSortJob::prepare: empty sample");
+  auto* compares = &c.compares;
+  std::sort(keys.begin(), keys.end(), [compares](const std::string& a, const std::string& b) {
+    ++*compares;
+    return a < b;
+  });
+  cuts_.clear();
+  for (int r = 1; r < reducers_; ++r) {
+    std::size_t idx = keys.size() * static_cast<std::size_t>(r) / static_cast<std::size_t>(reducers_);
+    cuts_.push_back(keys[std::min(idx, keys.size() - 1)]);
+  }
+}
+
+int TeraSortJob::partition(std::string_view key, int num_reducers) const {
+  require(!cuts_.empty() || num_reducers == 1,
+          "TeraSortJob::partition called before prepare()");
+  auto it = std::upper_bound(cuts_.begin(), cuts_.end(), key,
+                             [](std::string_view k, const std::string& cut) { return k < cut; });
+  int p = static_cast<int>(it - cuts_.begin());
+  return std::min(p, num_reducers - 1);
+}
+
+}  // namespace bvl::wl

@@ -1,0 +1,39 @@
+// TeraSort: scalable sort with a sampled total-order partitioner.
+// prepare() samples the input and computes R-1 quantile cut points
+// ("uses a sorted list of N-1 sampled keys to define the key range for
+// each reduce", Sec. 1.3.1); partition() binary-searches them, so
+// concatenating reducer outputs yields a globally sorted dataset — a
+// property the tests assert.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapreduce/api.hpp"
+
+namespace bvl::wl {
+
+class TeraSortJob final : public mr::JobDefinition {
+ public:
+  explicit TeraSortJob(int reducers = 4, std::size_t sample_records = 2000);
+
+  std::string name() const override { return "TeraSort"; }
+  std::unique_ptr<mr::SplitSource> open_split(std::uint64_t block_id, Bytes exec_bytes,
+                                              std::uint64_t seed) const override;
+  std::unique_ptr<mr::Mapper> make_mapper() const override;
+  std::unique_ptr<mr::Reducer> make_reducer() const override;
+  void prepare(Bytes exec_bytes, std::uint64_t seed, mr::WorkCounters& c) override;
+  int partition(std::string_view key, int num_reducers) const override;
+  int default_reducers() const override { return reducers_; }
+  /// The canonical terasort tuning compresses map output.
+  bool compress_map_output() const override { return true; }
+
+  const std::vector<std::string>& cut_points() const { return cuts_; }
+
+ private:
+  int reducers_;
+  std::size_t sample_records_;
+  std::vector<std::string> cuts_;
+};
+
+}  // namespace bvl::wl

@@ -1,0 +1,51 @@
+#include "workloads/wordcount.hpp"
+
+#include <charconv>
+
+#include "util/string_util.hpp"
+#include "workloads/datagen.hpp"
+
+namespace bvl::wl {
+
+namespace {
+class WordCountMapper final : public mr::Mapper {
+ public:
+  void map(const mr::Record& rec, mr::Emitter& out, mr::WorkCounters& c) override {
+    for_each_token(rec.value, [&](std::string_view tok) {
+      c.token_ops += 1;
+      out.emit(std::string(tok), "1");
+    });
+  }
+};
+}  // namespace
+
+void SumReducer::reduce(const std::string& key, const std::vector<std::string>& values,
+                        mr::Emitter& out, mr::WorkCounters& c) {
+  long long sum = 0;
+  for (const auto& v : values) {
+    long long x = 0;
+    std::from_chars(v.data(), v.data() + v.size(), x);
+    sum += x;
+    c.compute_units += 1;
+  }
+  out.emit(key, std::to_string(sum));
+}
+
+std::unique_ptr<mr::SplitSource> WordCountJob::open_split(std::uint64_t block_id, Bytes exec_bytes,
+                                                          std::uint64_t seed) const {
+  return std::make_unique<TextSource>(exec_bytes, seed ^ block_id);
+}
+
+std::unique_ptr<mr::Mapper> WordCountJob::make_mapper() const {
+  return std::make_unique<WordCountMapper>();
+}
+
+std::unique_ptr<mr::Reducer> WordCountJob::make_reducer() const {
+  return std::make_unique<SumReducer>();
+}
+
+std::unique_ptr<mr::Reducer> WordCountJob::make_combiner() const {
+  return std::make_unique<SumReducer>();
+}
+
+}  // namespace bvl::wl

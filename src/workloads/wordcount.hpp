@@ -1,0 +1,26 @@
+// WordCount: the paper's CPU-intensive micro-benchmark. Tokenizes
+// text, emits (word, 1), combines and reduces by summation.
+#pragma once
+
+#include "mapreduce/api.hpp"
+
+namespace bvl::wl {
+
+class WordCountJob final : public mr::JobDefinition {
+ public:
+  std::string name() const override { return "WordCount"; }
+  std::unique_ptr<mr::SplitSource> open_split(std::uint64_t block_id, Bytes exec_bytes,
+                                              std::uint64_t seed) const override;
+  std::unique_ptr<mr::Mapper> make_mapper() const override;
+  std::unique_ptr<mr::Reducer> make_reducer() const override;
+  std::unique_ptr<mr::Reducer> make_combiner() const override;
+};
+
+/// Integer-sum reducer shared by WordCount, Grep and Naive Bayes.
+class SumReducer final : public mr::Reducer {
+ public:
+  void reduce(const std::string& key, const std::vector<std::string>& values, mr::Emitter& out,
+              mr::WorkCounters& c) override;
+};
+
+}  // namespace bvl::wl

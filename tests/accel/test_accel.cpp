@@ -1,0 +1,93 @@
+#include "accel/fpga.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/characterizer.hpp"
+#include "util/error.hpp"
+
+namespace bvl::accel {
+namespace {
+
+perf::RunResult sample_run(const arch::ServerConfig& server) {
+  core::Characterizer ch;
+  core::RunSpec spec;
+  spec.workload = wl::WorkloadId::kWordCount;
+  spec.input_size = 1 * GB;
+  return ch.run(spec, server);
+}
+
+TEST(Hotspot, MapDominatesWordCount) {
+  // "in most of the studied applications, the map function accounts
+  // for more than half of the execution time" (Sec. 3.4).
+  EXPECT_GT(map_hotspot_fraction(sample_run(arch::xeon_e5_2420())), 0.5);
+}
+
+TEST(MapAccelerator, SpeedupGrowsThenSaturates) {
+  MapAccelerator acc;
+  perf::RunResult run = sample_run(arch::atom_c2758());
+  double prev = 0;
+  for (double x : {1.0, 2.0, 10.0, 50.0, 100.0}) {
+    AccelResult r = acc.accelerate(run, x, 1e9);
+    EXPECT_GE(r.map_speedup, prev);
+    prev = r.map_speedup;
+  }
+  // Amdahl: residual CPU part bounds the gain.
+  AccelResult r = acc.accelerate(run, 1e6, 1e9);
+  EXPECT_LT(r.map_speedup, 1.0 / (1.0 - acc.config().offloadable_fraction) + 1.0);
+}
+
+TEST(MapAccelerator, ComponentsSumToMapAfter) {
+  MapAccelerator acc;
+  perf::RunResult run = sample_run(arch::xeon_e5_2420());
+  AccelResult r = acc.accelerate(run, 10.0, 5e8);
+  EXPECT_NEAR(r.map_after, r.time_cpu + r.time_fpga + r.time_trans, 1e-9);
+  EXPECT_NEAR(r.app_after, r.map_after + run.reduce.time + run.other.time, 1e-9);
+}
+
+TEST(MapAccelerator, NeverSlowerThanNoOffload) {
+  // A huge transfer volume on a slow link would make offload a loss;
+  // the model declines rather than reporting a slowdown.
+  MapAccelerator acc(FpgaConfig{.link_gbps = 0.01, .offloadable_fraction = 0.85, .setup_s = 0});
+  perf::RunResult run = sample_run(arch::xeon_e5_2420());
+  AccelResult r = acc.accelerate(run, 100.0, 1e12);
+  EXPECT_LE(r.map_after, run.map.time + 1e-9);
+  EXPECT_GE(r.map_speedup, 1.0);
+}
+
+TEST(MapAccelerator, OneXWithFreeTransferIsNoop) {
+  MapAccelerator acc(FpgaConfig{.link_gbps = 1000, .offloadable_fraction = 0.85, .setup_s = 0});
+  perf::RunResult run = sample_run(arch::xeon_e5_2420());
+  AccelResult r = acc.accelerate(run, 1.0, 0.0);
+  EXPECT_NEAR(r.map_after, run.map.time, run.map.time * 0.01);
+}
+
+TEST(SpeedupRatio, BelowOneAfterAcceleration) {
+  // Fig. 14's key result: offloading the map phase shrinks the gain
+  // of migrating from Atom to Xeon (ratio < 1).
+  MapAccelerator acc;
+  perf::RunResult atom = sample_run(arch::atom_c2758());
+  perf::RunResult xeon = sample_run(arch::xeon_e5_2420());
+  AccelResult aa = acc.accelerate(atom, 50.0, 1e9);
+  AccelResult ax = acc.accelerate(xeon, 50.0, 1e9);
+  EXPECT_LT(speedup_ratio(atom, xeon, aa, ax), 1.0);
+}
+
+TEST(SpeedupRatio, OneWhenNothingAccelerated) {
+  MapAccelerator acc(FpgaConfig{.link_gbps = 1000, .offloadable_fraction = 0.85, .setup_s = 0});
+  perf::RunResult atom = sample_run(arch::atom_c2758());
+  perf::RunResult xeon = sample_run(arch::xeon_e5_2420());
+  AccelResult aa = acc.accelerate(atom, 1.0, 0.0);
+  AccelResult ax = acc.accelerate(xeon, 1.0, 0.0);
+  EXPECT_NEAR(speedup_ratio(atom, xeon, aa, ax), 1.0, 0.02);
+}
+
+TEST(MapAccelerator, RejectsBadArguments) {
+  MapAccelerator acc;
+  perf::RunResult run = sample_run(arch::xeon_e5_2420());
+  EXPECT_THROW(acc.accelerate(run, 0.5, 0.0), Error);
+  EXPECT_THROW(acc.accelerate(run, 2.0, -1.0), Error);
+  EXPECT_THROW(MapAccelerator(FpgaConfig{.link_gbps = 0}), Error);
+}
+
+}  // namespace
+}  // namespace bvl::accel

@@ -1,0 +1,106 @@
+// DVFS, storage, and server-preset tests.
+#include <gtest/gtest.h>
+
+#include "arch/dvfs.hpp"
+#include "arch/server_config.hpp"
+#include "arch/storage.hpp"
+#include "util/error.hpp"
+
+namespace bvl::arch {
+namespace {
+
+TEST(Dvfs, InterpolatesAndClamps) {
+  DvfsTable t({{1.2 * GHz, 0.8}, {1.8 * GHz, 1.0}});
+  EXPECT_DOUBLE_EQ(t.voltage_at(1.2 * GHz), 0.8);
+  EXPECT_DOUBLE_EQ(t.voltage_at(1.8 * GHz), 1.0);
+  EXPECT_NEAR(t.voltage_at(1.5 * GHz), 0.9, 1e-12);
+  EXPECT_DOUBLE_EQ(t.voltage_at(0.8 * GHz), 0.8);   // clamp low
+  EXPECT_DOUBLE_EQ(t.voltage_at(2.4 * GHz), 1.0);   // clamp high
+}
+
+TEST(Dvfs, RejectsUnsortedOrEmpty) {
+  EXPECT_THROW(DvfsTable({}), Error);
+  EXPECT_THROW(DvfsTable({{1.8 * GHz, 1.0}, {1.2 * GHz, 0.8}}), Error);
+  EXPECT_THROW(DvfsTable({{1.2 * GHz, 0.0}}), Error);
+}
+
+TEST(Dvfs, PaperSweepMatchesSection3) {
+  auto sweep = paper_frequency_sweep();
+  ASSERT_EQ(sweep.size(), 4u);
+  EXPECT_DOUBLE_EQ(sweep.front(), 1.2 * GHz);
+  EXPECT_DOUBLE_EQ(sweep.back(), 1.8 * GHz);
+}
+
+TEST(Storage, BurstThenSustainedRate) {
+  StorageModel m(StorageConfig{.seq_bandwidth_mbps = 400,
+                               .sustained_bandwidth_mbps = 100,
+                               .burst_bytes = 1 * GB,
+                               .seek_ms = 10,
+                               .kernel_inst_per_byte = 1.0});
+  // 1 GB at burst rate.
+  EXPECT_NEAR(m.transfer_time(1 * GB, 0), static_cast<double>(1 * GB) / 400e6, 1e-6);
+  // Second GB at sustained rate.
+  Seconds two = m.transfer_time(2 * GB, 0);
+  EXPECT_NEAR(two, static_cast<double>(1 * GB) / 400e6 + static_cast<double>(1 * GB) / 100e6,
+              1e-6);
+  // Seeks additive.
+  EXPECT_NEAR(m.transfer_time(0, 5), 0.05, 1e-12);
+}
+
+TEST(Storage, KernelInstructionsProportional) {
+  StorageModel m(StorageConfig{.kernel_inst_per_byte = 1.5});
+  EXPECT_DOUBLE_EQ(m.kernel_instructions(1000), 1500.0);
+}
+
+TEST(Storage, RejectsInvalidConfig) {
+  EXPECT_THROW(StorageModel(StorageConfig{.seq_bandwidth_mbps = 0}), Error);
+  EXPECT_THROW(StorageModel(StorageConfig{.seq_bandwidth_mbps = 10,
+                                          .sustained_bandwidth_mbps = 20}),
+               Error);
+}
+
+TEST(ServerConfig, Table1Parameters) {
+  ServerConfig xeon = xeon_e5_2420();
+  ServerConfig atom = atom_c2758();
+
+  EXPECT_EQ(xeon.core.issue_width, 4);
+  EXPECT_EQ(atom.core.issue_width, 2);
+  EXPECT_TRUE(xeon.core.out_of_order);
+  EXPECT_FALSE(atom.core.out_of_order);
+
+  ASSERT_EQ(xeon.cache_levels.size(), 3u);  // three-level hierarchy
+  ASSERT_EQ(atom.cache_levels.size(), 2u);  // two-level hierarchy
+  EXPECT_EQ(xeon.cache_levels[0].capacity, 32 * KB);
+  EXPECT_EQ(atom.cache_levels[0].capacity, 24 * KB);
+  EXPECT_EQ(xeon.cache_levels[2].capacity, 15 * MB);
+  EXPECT_EQ(atom.cache_levels[1].capacity, 1 * MB);
+
+  EXPECT_EQ(xeon.memory.capacity, 8 * GB);  // same DRAM on both (Sec. 1.1)
+  EXPECT_EQ(atom.memory.capacity, 8 * GB);
+
+  EXPECT_DOUBLE_EQ(xeon.area_mm2, 216.0);  // Sec. 1.2 die areas
+  EXPECT_DOUBLE_EQ(atom.area_mm2, 160.0);
+
+  // Both presets cover the paper's frequency sweep.
+  for (Hertz f : paper_frequency_sweep()) {
+    EXPECT_GT(xeon.dvfs.voltage_at(f), 0);
+    EXPECT_GT(atom.dvfs.voltage_at(f), 0);
+  }
+  // Voltage rises with frequency on both.
+  EXPECT_GT(xeon.dvfs.voltage_at(1.8 * GHz), xeon.dvfs.voltage_at(1.2 * GHz));
+  EXPECT_GT(atom.dvfs.voltage_at(1.8 * GHz), atom.dvfs.voltage_at(1.2 * GHz));
+}
+
+TEST(ServerConfig, HierarchiesConstruct) {
+  for (const ServerConfig& cfg : paper_servers()) {
+    EXPECT_NO_THROW({
+      auto h = cfg.make_hierarchy();
+      auto m = cfg.make_core_model();
+      (void)h;
+      (void)m;
+    }) << cfg.name;
+  }
+}
+
+}  // namespace
+}  // namespace bvl::arch

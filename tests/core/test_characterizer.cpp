@@ -1,0 +1,93 @@
+#include "core/characterizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.hpp"
+#include "util/error.hpp"
+
+namespace bvl::core {
+namespace {
+
+TEST(Characterizer, TraceCachedAcrossOperatingPoints) {
+  Characterizer ch;
+  RunSpec spec;
+  spec.workload = wl::WorkloadId::kWordCount;
+  spec.input_size = 64 * MB;
+  const mr::JobTrace& t1 = ch.trace(spec);
+  spec.freq = 1.2 * GHz;   // operating point does not change the trace
+  spec.mappers = 2;
+  const mr::JobTrace& t2 = ch.trace(spec);
+  EXPECT_EQ(&t1, &t2);
+
+  spec.block_size = 128 * MB;  // engine-level knob: new trace
+  const mr::JobTrace& t3 = ch.trace(spec);
+  EXPECT_NE(&t1, &t3);
+}
+
+TEST(Characterizer, RunPairReturnsBothServers) {
+  Characterizer ch;
+  RunSpec spec;
+  spec.workload = wl::WorkloadId::kGrep;
+  spec.input_size = 64 * MB;
+  auto [xeon, atom] = ch.run_pair(spec);
+  EXPECT_EQ(xeon.server, "Xeon E5-2420");
+  EXPECT_EQ(atom.server, "Atom C2758");
+  EXPECT_EQ(xeon.workload, "Grep");
+  EXPECT_LT(xeon.total_time(), atom.total_time());
+}
+
+TEST(Characterizer, SimScaleBoundsExecutedVolume) {
+  // A 1 GB spec with a 16 MB execution target must finish quickly and
+  // still report logical-scale counters.
+  Characterizer ch;
+  RunSpec spec;
+  spec.workload = wl::WorkloadId::kSort;
+  spec.input_size = 1 * GB;
+  const mr::JobTrace& t = ch.trace(spec);
+  EXPECT_NEAR(t.map_total().input_bytes, 1e9 * 1.0737, 0.1e9);  // ~1 GiB logical
+  EXPECT_GT(t.config.sim_scale, 32.0);
+}
+
+TEST(Characterizer, SpecFieldsFlowIntoResult) {
+  Characterizer ch;
+  RunSpec spec;
+  spec.workload = wl::WorkloadId::kTeraSort;
+  spec.input_size = 128 * MB;
+  spec.block_size = 64 * MB;
+  spec.freq = 1.4 * GHz;
+  spec.mappers = 6;
+  perf::RunResult r = ch.run(spec, arch::atom_c2758());
+  EXPECT_EQ(r.block_size, 64 * MB);
+  EXPECT_EQ(r.input_size, 128 * MB);
+  EXPECT_DOUBLE_EQ(r.freq, 1.4 * GHz);
+  EXPECT_EQ(r.mappers, 6);
+}
+
+TEST(Characterizer, RejectsTinyExecutionTarget) {
+  EXPECT_THROW(Characterizer({}, {}, 1 * KB), Error);
+}
+
+TEST(Classifier, PaperTaxonomyReproduced) {
+  // Table 2 / Sec. 3.5: WC, NB, FP compute-bound; ST I/O; GP, TS hybrid.
+  Characterizer ch;
+  EXPECT_EQ(classify_workload(ch, wl::WorkloadId::kWordCount), AppClass::kComputeBound);
+  EXPECT_EQ(classify_workload(ch, wl::WorkloadId::kNaiveBayes), AppClass::kComputeBound);
+  EXPECT_EQ(classify_workload(ch, wl::WorkloadId::kFpGrowth), AppClass::kComputeBound);
+  EXPECT_EQ(classify_workload(ch, wl::WorkloadId::kSort), AppClass::kIoBound);
+  EXPECT_EQ(classify_workload(ch, wl::WorkloadId::kGrep), AppClass::kHybrid);
+  EXPECT_EQ(classify_workload(ch, wl::WorkloadId::kTeraSort), AppClass::kHybrid);
+}
+
+TEST(Classifier, ToStringCoversAllClasses) {
+  EXPECT_EQ(to_string(AppClass::kComputeBound), "compute-bound");
+  EXPECT_EQ(to_string(AppClass::kIoBound), "io-bound");
+  EXPECT_EQ(to_string(AppClass::kHybrid), "hybrid");
+}
+
+TEST(Classifier, RejectsEmptyRun) {
+  perf::RunResult empty;
+  EXPECT_THROW(classify(empty), Error);
+}
+
+}  // namespace
+}  // namespace bvl::core

@@ -1,0 +1,111 @@
+#include "core/cluster_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bvl::core {
+namespace {
+
+std::vector<JobRequest> small_mix() {
+  return {{wl::WorkloadId::kWordCount, 1 * GB},
+          {wl::WorkloadId::kSort, 1 * GB},
+          {wl::WorkloadId::kGrep, 1 * GB},
+          {wl::WorkloadId::kTeraSort, 1 * GB}};
+}
+
+TEST(ClusterSim, ScheduleIsConsistent) {
+  Characterizer ch;
+  auto rack = comparison_racks(4)[2];  // heterogeneous
+  MixResult r = simulate_mix(ch, small_mix(), rack, MixPolicy::kClassAware);
+  ASSERT_EQ(r.schedule.size(), 4u);
+  double max_finish = 0;
+  for (const auto& s : r.schedule) {
+    EXPECT_GE(s.start, 0);
+    EXPECT_GT(s.finish, s.start);
+    EXPECT_GT(s.energy, 0);
+    max_finish = std::max(max_finish, s.finish);
+  }
+  EXPECT_DOUBLE_EQ(r.makespan, max_finish);
+}
+
+TEST(ClusterSim, NoNodeRunsTwoJobsAtOnce) {
+  Characterizer ch;
+  std::vector<JobRequest> jobs;
+  for (int i = 0; i < 6; ++i) jobs.push_back({wl::WorkloadId::kWordCount, 1 * GB});
+  auto rack = std::vector<NodeSpec>{{arch::atom_c2758(), 2}};
+  MixResult r = simulate_mix(ch, jobs, rack, MixPolicy::kRoundRobin);
+  // Group by node; intervals must not overlap.
+  for (const auto& a : r.schedule) {
+    for (const auto& b : r.schedule) {
+      if (&a == &b || a.node_type != b.node_type || a.node_index != b.node_index) continue;
+      EXPECT_TRUE(a.finish <= b.start + 1e-9 || b.finish <= a.start + 1e-9);
+    }
+  }
+}
+
+TEST(ClusterSim, ClassAwareRoutesSortToXeon) {
+  Characterizer ch;
+  auto rack = comparison_racks(4)[2];
+  MixResult r = simulate_mix(ch, small_mix(), rack, MixPolicy::kClassAware);
+  for (const auto& s : r.schedule) {
+    if (s.job.workload == wl::WorkloadId::kSort) {
+      EXPECT_EQ(s.node_type, arch::xeon_e5_2420().name);
+    }
+    if (s.job.workload == wl::WorkloadId::kWordCount) {
+      EXPECT_EQ(s.node_type, arch::atom_c2758().name);
+    }
+  }
+}
+
+TEST(ClusterSim, ClassAwareFallsBackOnHomogeneousRack) {
+  Characterizer ch;
+  auto all_atom = comparison_racks(4)[1];
+  MixResult r = simulate_mix(ch, small_mix(), all_atom, MixPolicy::kClassAware);
+  for (const auto& s : r.schedule) EXPECT_EQ(s.node_type, arch::atom_c2758().name);
+}
+
+TEST(ClusterSim, HeterogeneousBeatsAllXeonOnEnergy) {
+  // The deployment claim: for a mixed analytics queue, the hetero rack
+  // burns less energy than the all-big rack.
+  Characterizer ch;
+  auto racks = comparison_racks(4);
+  MixResult xeon = simulate_mix(ch, small_mix(), racks[0], MixPolicy::kClassAware);
+  MixResult hetero = simulate_mix(ch, small_mix(), racks[2], MixPolicy::kClassAware);
+  EXPECT_LT(hetero.total_energy, xeon.total_energy);
+}
+
+TEST(ClusterSim, HeterogeneousBeatsAllAtomOnMakespan) {
+  Characterizer ch;
+  auto racks = comparison_racks(4);
+  // A Sort-only queue: the all-little rack pays the full I/O gap,
+  // while the hetero rack pipelines everything through its big nodes.
+  std::vector<JobRequest> jobs(4, JobRequest{wl::WorkloadId::kSort, 1 * GB});
+  MixResult atom = simulate_mix(ch, jobs, racks[1], MixPolicy::kClassAware);
+  MixResult hetero = simulate_mix(ch, jobs, racks[2], MixPolicy::kClassAware);
+  EXPECT_LT(hetero.makespan, atom.makespan);
+}
+
+TEST(ClusterSim, EarliestFinishNeverWorseMakespanThanRoundRobin) {
+  Characterizer ch;
+  auto rack = comparison_racks(4)[2];
+  MixResult ef = simulate_mix(ch, small_mix(), rack, MixPolicy::kEarliestFinish);
+  MixResult rr = simulate_mix(ch, small_mix(), rack, MixPolicy::kRoundRobin);
+  EXPECT_LE(ef.makespan, rr.makespan * 1.05);
+}
+
+TEST(ClusterSim, EdxpAndValidation) {
+  Characterizer ch;
+  auto rack = comparison_racks(2)[2];
+  MixResult r = simulate_mix(ch, {{wl::WorkloadId::kGrep, 1 * GB}}, rack,
+                             MixPolicy::kClassAware);
+  EXPECT_DOUBLE_EQ(r.edxp(0), r.total_energy);
+  EXPECT_DOUBLE_EQ(r.edxp(1), r.total_energy * r.makespan);
+  EXPECT_THROW(r.edxp(4), Error);
+  EXPECT_THROW(simulate_mix(ch, {}, {}, MixPolicy::kRoundRobin), Error);
+  EXPECT_THROW(comparison_racks(1), Error);
+  EXPECT_EQ(to_string(MixPolicy::kClassAware), "class-aware");
+}
+
+}  // namespace
+}  // namespace bvl::core

@@ -1,0 +1,84 @@
+#include "core/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bvl::core {
+namespace {
+
+TEST(Tuner, GridSortedByGoalCost) {
+  Characterizer ch;
+  TuningConstraints limits;
+  limits.core_counts = {4, 8};
+  limits.freqs = {1.2 * GHz, 1.8 * GHz};
+  limits.block_sizes = {128 * MB, 512 * MB};
+  auto grid = tune_grid(ch, wl::WorkloadId::kWordCount, 512 * MB, Goal::edp(), limits);
+  ASSERT_EQ(grid.size(), 16u);  // 2 servers x 2 cores x 2 freqs x 2 blocks
+  for (std::size_t i = 1; i < grid.size(); ++i)
+    EXPECT_LE(grid[i - 1].goal_cost, grid[i].goal_cost);
+}
+
+TEST(Tuner, BestComputeBoundConfigIsAtom) {
+  Characterizer ch;
+  TuningPoint best = tune_best(ch, wl::WorkloadId::kWordCount, 1 * GB, Goal::edp());
+  EXPECT_EQ(best.server, arch::atom_c2758().name);
+}
+
+TEST(Tuner, BestIoBoundConfigIsXeon) {
+  Characterizer ch;
+  TuningPoint best = tune_best(ch, wl::WorkloadId::kSort, 1 * GB, Goal::edp());
+  EXPECT_EQ(best.server, arch::xeon_e5_2420().name);
+}
+
+TEST(Tuner, DelayConstraintFiltersSlowPoints) {
+  Characterizer ch;
+  TuningConstraints loose, tight;
+  tight.max_delay = 60.0;  // WordCount at 1 GB on Atom takes ~200 s
+  auto all = tune_grid(ch, wl::WorkloadId::kWordCount, 1 * GB, Goal::edp(), loose);
+  auto feasible = tune_grid(ch, wl::WorkloadId::kWordCount, 1 * GB, Goal::edp(), tight);
+  EXPECT_LT(feasible.size(), all.size());
+  for (const auto& p : feasible) EXPECT_LE(p.metrics.delay, 60.0);
+}
+
+TEST(Tuner, ImpossibleSlaThrows) {
+  Characterizer ch;
+  TuningConstraints limits;
+  limits.max_delay = 0.001;
+  EXPECT_THROW(tune_best(ch, wl::WorkloadId::kWordCount, 1 * GB, Goal::edp(), limits), Error);
+}
+
+TEST(Tuner, TuningBeatsTheDefaultConfiguration) {
+  // The paper's closing point: fine-tuning block size and frequency
+  // improves on the Hadoop defaults (64 MB, max frequency is not
+  // always EDP-optimal either).
+  Characterizer ch;
+  RunSpec def;
+  def.workload = wl::WorkloadId::kWordCount;
+  def.input_size = 1 * GB;
+  def.block_size = 64 * MB;
+  def.mappers = 8;
+  perf::RunResult default_run = ch.run(def, arch::atom_c2758());
+  double default_edp = default_run.total_energy() * default_run.total_time();
+  TuningPoint best = tune_best(ch, wl::WorkloadId::kWordCount, 1 * GB, Goal::edp());
+  EXPECT_LT(best.goal_cost, default_edp);
+}
+
+TEST(Tuner, SmallestLittleConfigMeetsSlack) {
+  Characterizer ch;
+  auto cfg = smallest_little_core_config(ch, wl::WorkloadId::kWordCount, 1 * GB, /*slack=*/2.0);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->server, arch::atom_c2758().name);
+  EXPECT_GE(cfg->cores, 2);
+  // Tight slack on an I/O-bound app: Atom cannot keep up.
+  auto none = smallest_little_core_config(ch, wl::WorkloadId::kSort, 1 * GB, /*slack=*/1.05);
+  EXPECT_FALSE(none.has_value());
+}
+
+TEST(Tuner, SlackBelowOneRejected) {
+  Characterizer ch;
+  EXPECT_THROW(smallest_little_core_config(ch, wl::WorkloadId::kWordCount, 1 * GB, 0.5), Error);
+}
+
+}  // namespace
+}  // namespace bvl::core

@@ -1,0 +1,51 @@
+// Parameterized block-planning properties across the paper's whole
+// (input size, block size) grid.
+#include <gtest/gtest.h>
+
+#include "hdfs/dfs.hpp"
+
+namespace bvl::hdfs {
+namespace {
+
+class BlockGrid : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  Bytes input() const { return static_cast<Bytes>(std::get<0>(GetParam())) * GB; }
+  Bytes block() const { return static_cast<Bytes>(std::get<1>(GetParam())) * MB; }
+};
+
+TEST_P(BlockGrid, PlanCoversInputExactly) {
+  auto blocks = plan_blocks(input(), block());
+  Bytes covered = 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(blocks[i].id, i);
+    EXPECT_EQ(blocks[i].offset, covered);
+    EXPECT_GT(blocks[i].length, 0u);
+    EXPECT_LE(blocks[i].length, block());
+    covered += blocks[i].length;
+  }
+  EXPECT_EQ(covered, input());
+}
+
+TEST_P(BlockGrid, OnlyTailMayBeShort) {
+  auto blocks = plan_blocks(input(), block());
+  for (std::size_t i = 0; i + 1 < blocks.size(); ++i) EXPECT_EQ(blocks[i].length, block());
+}
+
+TEST_P(BlockGrid, TaskCountMatchesPaperFormula) {
+  EXPECT_EQ(num_map_tasks(input(), block()),
+            (input() + block() - 1) / block());
+  EXPECT_EQ(num_map_tasks(input(), block()), plan_blocks(input(), block()).size());
+}
+
+TEST_P(BlockGrid, SmallerBlocksNeverFewerTasks) {
+  if (block() > 32 * MB) {
+    EXPECT_GE(num_map_tasks(input(), block() / 2), num_map_tasks(input(), block()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperGrid, BlockGrid,
+                         ::testing::Combine(::testing::Values(1, 10, 20),
+                                            ::testing::Values(32, 64, 128, 256, 512)));
+
+}  // namespace
+}  // namespace bvl::hdfs

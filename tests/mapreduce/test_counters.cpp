@@ -1,0 +1,69 @@
+#include "mapreduce/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bvl::mr {
+namespace {
+
+WorkCounters sample() {
+  WorkCounters c;
+  c.input_records = 10;
+  c.input_bytes = 1000;
+  c.emits = 20;
+  c.emit_bytes = 400;
+  c.compares = 100;
+  c.hash_ops = 5;
+  c.token_ops = 50;
+  c.compute_units = 7;
+  c.spills = 2;
+  c.spill_bytes = 300;
+  c.merge_read_bytes = 300;
+  c.disk_read_bytes = 1000;
+  c.disk_write_bytes = 200;
+  c.disk_seeks = 3;
+  c.shuffle_bytes = 250;
+  c.output_records = 4;
+  c.output_bytes = 80;
+  return c;
+}
+
+TEST(WorkCounters, AddAccumulatesEveryField) {
+  WorkCounters a = sample(), b = sample();
+  a.add(b);
+  EXPECT_DOUBLE_EQ(a.input_records, 20);
+  EXPECT_DOUBLE_EQ(a.compares, 200);
+  EXPECT_DOUBLE_EQ(a.spills, 4);
+  EXPECT_DOUBLE_EQ(a.shuffle_bytes, 500);
+  EXPECT_DOUBLE_EQ(a.output_bytes, 160);
+}
+
+TEST(WorkCounters, ScaledPreservesStructureScalesVolume) {
+  WorkCounters c = sample().scaled(10.0, 1.5);
+  EXPECT_DOUBLE_EQ(c.input_records, 100);       // linear x10
+  EXPECT_DOUBLE_EQ(c.input_bytes, 10000);
+  EXPECT_DOUBLE_EQ(c.compares, 100 * 10 * 1.5); // n log n correction
+  EXPECT_DOUBLE_EQ(c.spills, 2);                // structural: unchanged
+  EXPECT_DOUBLE_EQ(c.disk_seeks, 3);            // structural: unchanged
+  EXPECT_DOUBLE_EQ(c.spill_bytes, 3000);
+}
+
+TEST(WorkCounters, ScaleOfOneIsIdentityForVolumes) {
+  WorkCounters c = sample().scaled(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(c.input_bytes, 1000);
+  EXPECT_DOUBLE_EQ(c.compares, 100);
+}
+
+TEST(WorkCounters, ScaledRejectsShrinking) {
+  EXPECT_THROW(sample().scaled(0.5, 1.0), Error);
+  EXPECT_THROW(sample().scaled(2.0, 0.5), Error);
+}
+
+TEST(WorkCounters, TotalDiskBytes) {
+  WorkCounters c = sample();
+  EXPECT_DOUBLE_EQ(c.total_disk_bytes(), 1000 + 200 + 300 + 300);
+}
+
+}  // namespace
+}  // namespace bvl::mr

@@ -1,0 +1,164 @@
+// Engine-level invariants: task planning from block size, record
+// conservation through the shuffle, scaled-execution consistency, and
+// determinism.
+#include "mapreduce/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "workloads/registry.hpp"
+#include "workloads/sort.hpp"
+#include "workloads/wordcount.hpp"
+
+namespace bvl::mr {
+namespace {
+
+JobConfig small_config() {
+  JobConfig cfg;
+  cfg.input_size = 8 * MB;
+  cfg.block_size = 2 * MB;
+  cfg.spill_buffer = 1 * MB;
+  cfg.sim_scale = 1.0;
+  return cfg;
+}
+
+TEST(Engine, OneMapTaskPerBlock) {
+  Engine e;
+  wl::WordCountJob job;
+  JobConfig cfg = small_config();
+  JobTrace t = e.run(job, cfg);
+  EXPECT_EQ(t.num_map_tasks(), 4u);  // 8 MB / 2 MB
+  EXPECT_EQ(t.num_reduce_tasks(), 4u);
+  EXPECT_EQ(t.workload, "WordCount");
+}
+
+TEST(Engine, BlockSizeControlsTaskCount) {
+  Engine e;
+  wl::WordCountJob job;
+  JobConfig cfg = small_config();
+  cfg.block_size = 1 * MB;
+  EXPECT_EQ(e.run(job, cfg).num_map_tasks(), 8u);
+  cfg.block_size = 8 * MB;
+  EXPECT_EQ(e.run(job, cfg).num_map_tasks(), 1u);
+}
+
+TEST(Engine, MapOnlyJobHasNoReduceTasks) {
+  Engine e;
+  wl::SortJob job;
+  JobTrace t = e.run(job, small_config());
+  EXPECT_EQ(t.num_reduce_tasks(), 0u);
+  EXPECT_GT(t.map_total().output_records, 0);  // output written by map
+}
+
+TEST(Engine, NumReducersZeroForcesMapOnly) {
+  Engine e;
+  wl::WordCountJob job;
+  JobConfig cfg = small_config();
+  cfg.num_reducers = 0;
+  JobTrace t = e.run(job, cfg);
+  EXPECT_EQ(t.num_reduce_tasks(), 0u);
+}
+
+TEST(Engine, RecordsConservedThroughShuffle) {
+  // Without a combiner every map-output pair must arrive at exactly
+  // one reducer: sum of reduce shuffle pairs == sum of map emits.
+  Engine e;
+  wl::WordCountJob job;
+  JobConfig cfg = small_config();
+  cfg.use_combiner = false;
+  JobTrace t = e.run(job, cfg);
+  double emitted_bytes = t.map_total().emit_bytes;
+  double shuffled = t.reduce_total().shuffle_bytes;
+  EXPECT_NEAR(shuffled, emitted_bytes, emitted_bytes * 0.01);
+}
+
+TEST(Engine, InputBytesMatchLogicalSize) {
+  Engine e;
+  wl::WordCountJob job;
+  JobConfig cfg = small_config();
+  JobTrace t = e.run(job, cfg);
+  EXPECT_NEAR(t.map_total().input_bytes, static_cast<double>(cfg.input_size),
+              0.05 * static_cast<double>(cfg.input_size));
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  Engine e;
+  wl::WordCountJob a, b;
+  JobConfig cfg = small_config();
+  JobTrace t1 = e.run(a, cfg);
+  JobTrace t2 = e.run(b, cfg);
+  EXPECT_DOUBLE_EQ(t1.map_total().emits, t2.map_total().emits);
+  EXPECT_DOUBLE_EQ(t1.map_total().compares, t2.map_total().compares);
+  EXPECT_DOUBLE_EQ(t1.reduce_total().shuffle_bytes, t2.reduce_total().shuffle_bytes);
+}
+
+TEST(Engine, SeedChangesData) {
+  Engine e;
+  wl::WordCountJob a, b;
+  JobConfig cfg = small_config();
+  JobTrace t1 = e.run(a, cfg);
+  cfg.seed = 777;
+  JobTrace t2 = e.run(b, cfg);
+  EXPECT_NE(t1.map_total().emits, t2.map_total().emits);
+}
+
+TEST(Engine, ScaledRunApproximatesUnscaledCounters) {
+  // The central scaled-execution claim: executing 1/8 of the data
+  // with a 1/8 buffer and rescaling reproduces the full-run counters
+  // to within a few percent.
+  Engine e;
+  wl::WordCountJob full_job, scaled_job;
+  JobConfig cfg = small_config();
+  JobTrace full = e.run(full_job, cfg);
+  cfg.sim_scale = 8.0;
+  JobTrace scaled = e.run(scaled_job, cfg);
+
+  WorkCounters f = full.map_total(), s = scaled.map_total();
+  EXPECT_EQ(full.num_map_tasks(), scaled.num_map_tasks());
+  EXPECT_NEAR(s.input_bytes, f.input_bytes, 0.05 * f.input_bytes);
+  EXPECT_NEAR(s.emits, f.emits, 0.10 * f.emits);
+  EXPECT_NEAR(s.spills, f.spills, 0.35 * f.spills + 1.0);  // structural
+  EXPECT_NEAR(s.compares, f.compares, 0.30 * f.compares);  // log-adjusted
+}
+
+TEST(Engine, OutputSinkReceivesRealResults) {
+  Engine e;
+  wl::WordCountJob job;
+  JobConfig cfg = small_config();
+  std::size_t n = 0;
+  bool all_numeric = true;
+  JobTrace t = e.run(job, cfg, [&](const KV& kv) {
+    ++n;
+    all_numeric = all_numeric && !kv.value.empty() &&
+                  kv.value.find_first_not_of("0123456789") == std::string::npos;
+  });
+  EXPECT_GT(n, 0u);
+  EXPECT_TRUE(all_numeric);  // word counts are integers
+}
+
+TEST(Engine, RejectsInvalidConfig) {
+  Engine e;
+  wl::WordCountJob job;
+  JobConfig cfg = small_config();
+  cfg.input_size = 0;
+  EXPECT_THROW(e.run(job, cfg), Error);
+  cfg = small_config();
+  cfg.sim_scale = 0.5;
+  EXPECT_THROW(e.run(job, cfg), Error);
+  cfg = small_config();
+  cfg.spill_buffer = 0;
+  EXPECT_THROW(e.run(job, cfg), Error);
+}
+
+TEST(Engine, CompressFlagPropagatesFromJobDefinition) {
+  Engine e;
+  auto ts = wl::make_workload(wl::WorkloadId::kTeraSort);
+  JobConfig cfg = small_config();
+  JobTrace t = e.run(*ts, cfg);
+  EXPECT_TRUE(t.config.compress_map_output);  // TeraSort's canonical tuning
+  wl::WordCountJob wc;
+  EXPECT_FALSE(e.run(wc, cfg).config.compress_map_output);
+}
+
+}  // namespace
+}  // namespace bvl::mr

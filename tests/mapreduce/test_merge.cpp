@@ -1,0 +1,94 @@
+#include "mapreduce/merge.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bvl::mr {
+namespace {
+
+std::vector<KV> run_of(std::initializer_list<const char*> keys) {
+  std::vector<KV> r;
+  for (const char* k : keys) r.push_back({k, "v"});
+  return r;
+}
+
+TEST(MergeRuns, ProducesSortedUnion) {
+  WorkCounters c;
+  auto out = merge_runs({run_of({"a", "d", "g"}), run_of({"b", "e"}), run_of({"c", "f"})}, c);
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_TRUE(is_sorted_run(out));
+  EXPECT_EQ(out.front().key, "a");
+  EXPECT_EQ(out.back().key, "g");
+  EXPECT_GT(c.compares, 0);
+}
+
+TEST(MergeRuns, SingleRunIsFreeOfCompares) {
+  WorkCounters c;
+  auto out = merge_runs({run_of({"a", "b"})}, c);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.compares, 0.0);
+}
+
+TEST(MergeRuns, EmptyAndAllEmptyRuns) {
+  WorkCounters c;
+  EXPECT_TRUE(merge_runs({}, c).empty());
+  EXPECT_TRUE(merge_runs({{}, {}}, c).empty());
+}
+
+TEST(MergeRuns, DuplicateKeysAllSurvive) {
+  WorkCounters c;
+  auto out = merge_runs({run_of({"a", "a"}), run_of({"a"})}, c);
+  EXPECT_EQ(out.size(), 3u);
+  for (const auto& kv : out) EXPECT_EQ(kv.key, "a");
+}
+
+TEST(MergeRuns, CompareCountScalesWithRunCount) {
+  // n log k behaviour: same total elements, more runs -> more compares.
+  WorkCounters c2, c8;
+  {
+    std::vector<std::vector<KV>> two;
+    for (int r = 0; r < 2; ++r) {
+      std::vector<KV> run;
+      for (int i = 0; i < 64; ++i) run.push_back({std::to_string(i * 2 + r), "v"});
+      counting_sort_run(run, c2);
+      two.push_back(std::move(run));
+    }
+    c2 = WorkCounters{};
+    merge_runs(std::move(two), c2);
+  }
+  {
+    std::vector<std::vector<KV>> eight;
+    for (int r = 0; r < 8; ++r) {
+      std::vector<KV> run;
+      for (int i = 0; i < 16; ++i) run.push_back({std::to_string(i * 8 + r), "v"});
+      counting_sort_run(run, c8);
+      eight.push_back(std::move(run));
+    }
+    c8 = WorkCounters{};
+    merge_runs(std::move(eight), c8);
+  }
+  EXPECT_GT(c8.compares, c2.compares);
+}
+
+TEST(CountingSort, SortsAndCounts) {
+  WorkCounters c;
+  std::vector<KV> run = run_of({"d", "a", "c", "b"});
+  counting_sort_run(run, c);
+  EXPECT_TRUE(is_sorted_run(run));
+  EXPECT_GT(c.compares, 0);
+}
+
+TEST(CountingSort, StableForEqualKeys) {
+  WorkCounters c;
+  std::vector<KV> run{{"k", "first"}, {"k", "second"}};
+  counting_sort_run(run, c);
+  EXPECT_EQ(run[0].value, "first");
+  EXPECT_EQ(run[1].value, "second");
+}
+
+TEST(RunBytes, CountsFraming) {
+  std::vector<KV> run{{"ab", "cd"}};
+  EXPECT_DOUBLE_EQ(run_bytes(run), 4.0 + KV::kFramingBytes);
+}
+
+}  // namespace
+}  // namespace bvl::mr

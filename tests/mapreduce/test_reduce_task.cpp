@@ -1,0 +1,98 @@
+#include "mapreduce/reduce_task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace bvl::mr {
+namespace {
+
+class SumJob final : public JobDefinition {
+ public:
+  std::string name() const override { return "SumJob"; }
+  std::unique_ptr<SplitSource> open_split(std::uint64_t, Bytes, std::uint64_t) const override {
+    return nullptr;  // unused by reduce-task tests
+  }
+  std::unique_ptr<Mapper> make_mapper() const override { return nullptr; }
+  std::unique_ptr<Reducer> make_reducer() const override {
+    class Sum final : public Reducer {
+     public:
+      void reduce(const std::string& key, const std::vector<std::string>& values, Emitter& out,
+                  WorkCounters& c) override {
+        long long s = 0;
+        for (const auto& v : values) {
+          long long x = 0;
+          std::from_chars(v.data(), v.data() + v.size(), x);
+          s += x;
+          c.compute_units += 1;
+        }
+        out.emit(key, std::to_string(s));
+      }
+    };
+    return std::make_unique<Sum>();
+  }
+};
+
+class MapOnlyJob final : public JobDefinition {
+ public:
+  std::string name() const override { return "MapOnly"; }
+  std::unique_ptr<SplitSource> open_split(std::uint64_t, Bytes, std::uint64_t) const override {
+    return nullptr;
+  }
+  std::unique_ptr<Mapper> make_mapper() const override { return nullptr; }
+};
+
+std::vector<KV> seg(std::initializer_list<std::pair<const char*, const char*>> kvs) {
+  std::vector<KV> out;
+  for (auto [k, v] : kvs) out.push_back({k, v});
+  return out;
+}
+
+TEST(ReduceTask, GroupsAcrossSegments) {
+  SumJob job;
+  // Two sorted segments sharing keys: values must merge per key.
+  auto r = run_reduce_task(job, {seg({{"a", "1"}, {"b", "2"}}), seg({{"a", "3"}, {"c", "4"}})});
+  ASSERT_EQ(r.output.size(), 3u);
+  EXPECT_EQ(r.output[0].key, "a");
+  EXPECT_EQ(r.output[0].value, "4");
+  EXPECT_EQ(r.output[1].value, "2");
+  EXPECT_EQ(r.output[2].value, "4");
+}
+
+TEST(ReduceTask, AccountsShuffleAndOutput) {
+  SumJob job;
+  auto segments = std::vector<std::vector<KV>>{seg({{"a", "1"}}), seg({{"a", "2"}})};
+  double fetched = 0;
+  for (const auto& s : segments)
+    for (const auto& kv : s) fetched += static_cast<double>(kv.bytes());
+  auto r = run_reduce_task(job, std::move(segments));
+  EXPECT_DOUBLE_EQ(r.counters.shuffle_bytes, fetched);
+  EXPECT_DOUBLE_EQ(r.counters.output_records, 1);
+  EXPECT_GT(r.counters.disk_write_bytes, 0);
+  EXPECT_DOUBLE_EQ(r.counters.compute_units, 2);
+}
+
+TEST(ReduceTask, EmptySegmentsProduceNothing) {
+  SumJob job;
+  auto r = run_reduce_task(job, {});
+  EXPECT_TRUE(r.output.empty());
+  EXPECT_DOUBLE_EQ(r.counters.shuffle_bytes, 0);
+}
+
+TEST(ReduceTask, RejectsMapOnlyJob) {
+  MapOnlyJob job;
+  EXPECT_THROW(run_reduce_task(job, {seg({{"a", "1"}})}), Error);
+}
+
+TEST(ReduceTask, OutputSortedByKey) {
+  SumJob job;
+  auto r = run_reduce_task(job, {seg({{"b", "1"}, {"d", "1"}}), seg({{"a", "1"}, {"c", "1"}})});
+  ASSERT_EQ(r.output.size(), 4u);
+  for (std::size_t i = 1; i < r.output.size(); ++i)
+    EXPECT_LT(r.output[i - 1].key, r.output[i].key);
+}
+
+}  // namespace
+}  // namespace bvl::mr

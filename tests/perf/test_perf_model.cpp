@@ -1,0 +1,170 @@
+// Perf-overlay tests: calibration table validity, pricing sanity, and
+// model monotonicity properties across the operating envelope.
+#include "perf/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mapreduce/engine.hpp"
+#include "perf/calibration.hpp"
+#include "util/error.hpp"
+#include "workloads/registry.hpp"
+
+namespace bvl::perf {
+namespace {
+
+mr::JobTrace trace_for(wl::WorkloadId id, Bytes input = 64 * MB, Bytes block = 16 * MB) {
+  auto def = wl::make_workload(id);
+  mr::Engine engine;
+  mr::JobConfig cfg;
+  cfg.input_size = input;
+  cfg.block_size = block;
+  cfg.spill_buffer = 4 * MB;
+  cfg.sim_scale = std::max(1.0, static_cast<double>(input) / (4.0 * MB));
+  return engine.run(*def, cfg);
+}
+
+TEST(Calibration, AllSixWorkloadsHaveValidSignatures) {
+  for (wl::WorkloadId id : wl::all_workloads()) {
+    const WorkloadCalibration& c = calibration_for(wl::long_name(id));
+    EXPECT_NO_THROW(arch::validate(c.map_sig));
+    EXPECT_NO_THROW(arch::validate(c.reduce_sig));
+    EXPECT_GT(c.map_costs.per_record, 0);
+  }
+  EXPECT_THROW(calibration_for("Unknown"), Error);
+  EXPECT_NO_THROW(arch::validate(framework_signature()));
+}
+
+TEST(PerfModel, PricesAllPhasesPositive) {
+  PerfModel model(arch::xeon_e5_2420());
+  mr::JobTrace t = trace_for(wl::WorkloadId::kWordCount);
+  RunResult r = model.price(t, 1.8 * GHz, 4);
+  EXPECT_GT(r.map.time, 0);
+  EXPECT_GT(r.reduce.time, 0);
+  EXPECT_GT(r.other.time, 0);
+  EXPECT_GT(r.map.energy, 0);
+  EXPECT_GT(r.map.dynamic_power, 0);
+  EXPECT_GT(r.map.avg_ipc, 0);
+  EXPECT_NEAR(r.total_time(), r.map.time + r.reduce.time + r.other.time, 1e-9);
+  EXPECT_NEAR(r.whole().energy, r.total_energy(), 1e-6);
+}
+
+TEST(PerfModel, MapOnlyJobHasZeroReducePhase) {
+  PerfModel model(arch::atom_c2758());
+  mr::JobTrace t = trace_for(wl::WorkloadId::kSort);
+  RunResult r = model.price(t, 1.8 * GHz, 4);
+  EXPECT_DOUBLE_EQ(r.reduce.time, 0.0);
+  EXPECT_DOUBLE_EQ(r.reduce.energy, 0.0);
+}
+
+TEST(PerfModel, TimeMonotoneNonIncreasingInFrequency) {
+  for (const auto& server : arch::paper_servers()) {
+    PerfModel model(server);
+    for (wl::WorkloadId id : {wl::WorkloadId::kWordCount, wl::WorkloadId::kSort}) {
+      mr::JobTrace t = trace_for(id);
+      double prev = 1e18;
+      for (Hertz f : arch::paper_frequency_sweep()) {
+        double now = model.price(t, f, 4).total_time();
+        EXPECT_LE(now, prev * 1.0000001) << server.name << " " << wl::long_name(id);
+        prev = now;
+      }
+    }
+  }
+}
+
+TEST(PerfModel, MoreSlotsNeverSlower) {
+  PerfModel model(arch::xeon_e5_2420());
+  mr::JobTrace t = trace_for(wl::WorkloadId::kWordCount, 64 * MB, 8 * MB);  // 8 tasks
+  double prev = 1e18;
+  for (int slots : {1, 2, 4, 8}) {
+    double now = model.price(t, 1.8 * GHz, slots).total_time();
+    EXPECT_LE(now, prev * 1.0000001) << slots;
+    prev = now;
+  }
+}
+
+TEST(PerfModel, XeonFasterAtomLowerPower) {
+  PerfModel xeon(arch::xeon_e5_2420()), atom(arch::atom_c2758());
+  for (wl::WorkloadId id : wl::all_workloads()) {
+    mr::JobTrace t = trace_for(id);
+    RunResult rx = xeon.price(t, 1.8 * GHz, 4);
+    RunResult ra = atom.price(t, 1.8 * GHz, 4);
+    EXPECT_LT(rx.total_time(), ra.total_time()) << wl::long_name(id);
+    EXPECT_GT(rx.whole().dynamic_power, ra.whole().dynamic_power) << wl::long_name(id);
+  }
+}
+
+TEST(PerfModel, CompressionReducesDeviceAndNetworkLoad) {
+  // Price the same TeraSort trace with compression on vs off.
+  auto def = wl::make_workload(wl::WorkloadId::kTeraSort);
+  mr::Engine engine;
+  mr::JobConfig cfg;
+  cfg.input_size = 64 * MB;
+  cfg.block_size = 16 * MB;
+  cfg.spill_buffer = 4 * MB;
+  mr::JobTrace with = engine.run(*def, cfg);
+  mr::JobTrace without = with;
+  without.config.compress_map_output = false;
+
+  PerfModel atom(arch::atom_c2758());
+  RunResult rc = atom.price(with, 1.8 * GHz, 4);
+  RunResult ru = atom.price(without, 1.8 * GHz, 4);
+  EXPECT_LT(rc.map.io_time, ru.map.io_time);
+  EXPECT_LT(rc.reduce.net_time, ru.reduce.net_time);
+}
+
+TEST(PerfModel, SignatureIpcMatchesCoreModel) {
+  arch::ServerConfig cfg = arch::xeon_e5_2420();
+  PerfModel model(cfg);
+  arch::CoreModel core = cfg.make_core_model();
+  const arch::Signature& sig = framework_signature();
+  EXPECT_DOUBLE_EQ(model.signature_ipc(sig, 2e6, 1.8 * GHz), core.ipc(sig, 2e6, 1.8 * GHz, 1));
+}
+
+TEST(PerfModel, RejectsBadInput) {
+  PerfModel model(arch::xeon_e5_2420());
+  mr::JobTrace t = trace_for(wl::WorkloadId::kWordCount);
+  EXPECT_THROW(model.price(t, 0.0, 4), Error);
+}
+
+TEST(PhaseResult, CombineWeightsPowerByTime) {
+  PhaseResult a, b;
+  a.time = 10;
+  a.energy = 1000;  // 100 W
+  a.avg_ipc = 1.0;
+  b.time = 30;
+  b.energy = 600;  // 20 W
+  b.avg_ipc = 2.0;
+  PhaseResult c = PhaseResult::combine(a, b);
+  EXPECT_DOUBLE_EQ(c.time, 40);
+  EXPECT_DOUBLE_EQ(c.energy, 1600);
+  EXPECT_DOUBLE_EQ(c.dynamic_power, 40.0);
+  EXPECT_DOUBLE_EQ(c.avg_ipc, (1.0 * 10 + 2.0 * 30) / 40);
+}
+
+// Property sweep: pricing stays finite/positive across the envelope.
+class PriceSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(PriceSweep, AlwaysFiniteAndPositive) {
+  auto [wl_idx, freq_ghz, slots] = GetParam();
+  wl::WorkloadId id = wl::all_workloads()[static_cast<std::size_t>(wl_idx)];
+  mr::JobTrace t = trace_for(id);
+  for (const auto& server : arch::paper_servers()) {
+    PerfModel model(server);
+    RunResult r = model.price(t, freq_ghz * GHz, slots);
+    EXPECT_GT(r.total_time(), 0) << server.name;
+    EXPECT_GT(r.total_energy(), 0) << server.name;
+    EXPECT_TRUE(std::isfinite(r.total_time()));
+    EXPECT_TRUE(std::isfinite(r.total_energy()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Envelope, PriceSweep,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Values(1.2, 1.8),
+                                            ::testing::Values(2, 8)));
+
+}  // namespace
+}  // namespace bvl::perf

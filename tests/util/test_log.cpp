@@ -1,0 +1,50 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bvl {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsOff) {
+  // Tests and benches must stay quiet by default.
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST(Log, SetAndReadBack) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+TEST(Log, EmittingBelowThresholdIsNoop) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // Must not crash or emit; the variadic path still formats lazily.
+  log_info("value=", 42, " name=", std::string("x"));
+  log_debug("debug ", 3.14);
+  SUCCEED();
+}
+
+TEST(Log, EmittingAboveThresholdRuns) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  log_info("hello ", 7);
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("hello 7"), std::string::npos);
+  EXPECT_NE(err.find("[bvl:info]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bvl

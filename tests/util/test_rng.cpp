@@ -1,0 +1,73 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace bvl {
+namespace {
+
+TEST(Pcg32, DeterministicAcrossInstances) {
+  Pcg32 a(123, 7), b(123, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u32() == b.next_u32()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval) {
+  Pcg32 rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Pcg32, UniformRespectsBounds) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Pcg32, UniformThrowsOnInvertedBounds) {
+  Pcg32 rng(5);
+  EXPECT_THROW(rng.uniform(20, 10), Error);
+}
+
+TEST(Pcg32, ChanceExtremes) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(ZipfSampler, RanksWithinSupport) {
+  Pcg32 rng(11);
+  ZipfSampler zipf(100, 1.1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 100u);
+}
+
+TEST(ZipfSampler, HeadHeavierThanTail) {
+  Pcg32 rng(11);
+  ZipfSampler zipf(1000, 1.1);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[500] * 5);
+}
+
+TEST(ZipfSampler, ThrowsOnEmptySupport) { EXPECT_THROW(ZipfSampler(0, 1.0), Error); }
+
+}  // namespace
+}  // namespace bvl

@@ -1,0 +1,69 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bvl {
+namespace {
+
+TEST(Accumulator, MeanAndVariance) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyThrows) {
+  Accumulator acc;
+  EXPECT_THROW(acc.mean(), Error);
+  EXPECT_THROW(acc.min(), Error);
+}
+
+TEST(Accumulator, SingleSampleHasZeroVariance) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Geomean, KnownValue) {
+  EXPECT_NEAR(geomean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+}
+
+TEST(Geomean, RejectsNonPositive) {
+  EXPECT_THROW(geomean({1.0, 0.0}), Error);
+  EXPECT_THROW(geomean({}), Error);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> xs{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+}
+
+TEST(RelativeVariation, MatchesPaperStyle) {
+  // "up to 26% variation" style: (max-min)/max.
+  EXPECT_NEAR(relative_variation({74.0, 100.0}), 0.26, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_variation({5.0, 5.0}), 0.0);
+}
+
+TEST(ApproxEqual, ToleranceScales) {
+  EXPECT_TRUE(approx_equal(1e12, 1e12 + 1, 1e-9));
+  EXPECT_FALSE(approx_equal(1.0, 1.1, 1e-9));
+}
+
+}  // namespace
+}  // namespace bvl

@@ -1,0 +1,52 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bvl {
+namespace {
+
+TEST(Split, PreservesEmptyFields) {
+  auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, SingleFieldWhenNoDelimiter) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Tokenize, SkipsRunsOfWhitespace) {
+  auto toks = tokenize("  foo\tbar \n baz ");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "foo");
+  EXPECT_EQ(toks[1], "bar");
+  EXPECT_EQ(toks[2], "baz");
+}
+
+TEST(Tokenize, EmptyInputYieldsNothing) { EXPECT_TRUE(tokenize("   ").empty()); }
+
+TEST(ForEachToken, VisitsInOrder) {
+  std::vector<std::string> seen;
+  for_each_token("one two three", [&](std::string_view t) { seen.emplace_back(t); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[2], "three");
+}
+
+TEST(ToLower, Basic) { EXPECT_EQ(to_lower("AbC"), "abc"); }
+
+TEST(Contains, SubstringSearch) {
+  EXPECT_TRUE(contains("wordcount", "count"));
+  EXPECT_FALSE(contains("wordcount", "xyz"));
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace bvl

@@ -1,0 +1,54 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace bvl {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"app", "time"});
+  t.add_row({"WC", "12.5"});
+  t.add_row({"Sort", "3"});
+  std::string out = t.render();
+  EXPECT_NE(out.find("app   time"), std::string::npos);
+  EXPECT_NE(out.find("Sort  3"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, EmptyHeadersThrow) { EXPECT_THROW(TextTable({}), Error); }
+
+TEST(Format, SciMatchesPaperTable3Style) {
+  EXPECT_EQ(fmt_sci(4.2e5), "4.20E+05");
+  EXPECT_EQ(fmt_sci(1.05e6), "1.05E+06");
+}
+
+TEST(Format, FixedPrecision) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b,c"});
+  EXPECT_EQ(os.str(), "a,\"b,c\"\n");
+}
+
+}  // namespace
+}  // namespace bvl

@@ -1,0 +1,101 @@
+#include "workloads/fptree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bvl::wl {
+namespace {
+
+std::uint64_t support_of(const std::vector<Pattern>& ps, std::vector<Item> items) {
+  std::sort(items.begin(), items.end());
+  for (const auto& p : ps)
+    if (p.items == items) return p.support;
+  return 0;
+}
+
+TEST(FpTree, MinesTextbookExample) {
+  // Classic Han et al. style dataset.
+  FpTree tree(3);
+  tree.insert({1, 2, 5});
+  tree.insert({2, 4});
+  tree.insert({2, 3});
+  tree.insert({1, 2, 4});
+  tree.insert({1, 3});
+  tree.insert({2, 3});
+  tree.insert({1, 3});
+  tree.insert({1, 2, 3, 5});
+  tree.insert({1, 2, 3});
+  auto patterns = tree.mine();
+
+  EXPECT_EQ(support_of(patterns, {1}), 6u);
+  EXPECT_EQ(support_of(patterns, {2}), 7u);
+  EXPECT_EQ(support_of(patterns, {3}), 6u);
+  EXPECT_EQ(support_of(patterns, {1, 2}), 4u);
+  EXPECT_EQ(support_of(patterns, {1, 3}), 4u);
+  EXPECT_EQ(support_of(patterns, {2, 3}), 4u);
+  // {4} and {5} have support 2 < 3: absent.
+  EXPECT_EQ(support_of(patterns, {4}), 0u);
+  EXPECT_EQ(support_of(patterns, {5}), 0u);
+}
+
+TEST(FpTree, AllMinedPatternsMeetMinSupport) {
+  FpTree tree(2);
+  for (Item a = 0; a < 8; ++a)
+    for (Item b = a + 1; b < 8; ++b) tree.insert({a, b});
+  for (const auto& p : tree.mine()) EXPECT_GE(p.support, 2u);
+}
+
+TEST(FpTree, SubsetSupportMonotonicity) {
+  // Apriori property: support({a,b}) <= support({a}).
+  FpTree tree(1);
+  tree.insert({1, 2, 3});
+  tree.insert({1, 2});
+  tree.insert({1});
+  auto ps = tree.mine();
+  EXPECT_LE(support_of(ps, {1, 2}), support_of(ps, {1}));
+  EXPECT_LE(support_of(ps, {1, 2, 3}), support_of(ps, {1, 2}));
+  EXPECT_EQ(support_of(ps, {1}), 3u);
+  EXPECT_EQ(support_of(ps, {1, 2}), 2u);
+  EXPECT_EQ(support_of(ps, {1, 2, 3}), 1u);
+}
+
+TEST(FpTree, SharedPrefixesCompress) {
+  FpTree tree(1);
+  tree.insert({1, 2, 3});
+  tree.insert({1, 2, 4});
+  // root + 1,2 shared + 3,4 leaves = 5 nodes.
+  EXPECT_EQ(tree.node_count(), 5u);
+}
+
+TEST(FpTree, InsertCountsVisits) {
+  FpTree tree(1);
+  EXPECT_EQ(tree.insert({1, 2, 3}), 3u);
+}
+
+TEST(FpTree, MaxPatternsCapsOutput) {
+  FpTree tree(1);
+  for (Item i = 0; i < 10; ++i) tree.insert({i});
+  auto ps = tree.mine(nullptr, 3);
+  EXPECT_EQ(ps.size(), 3u);
+}
+
+TEST(FpTree, RejectsUnsortedTransaction) {
+  FpTree tree(1);
+  EXPECT_THROW(tree.insert({3, 1}), Error);
+  EXPECT_THROW(FpTree(0), Error);
+}
+
+TEST(ParseTransaction, SortsDedupsSkipsJunk) {
+  Transaction t = parse_transaction("7 3 junk 3 11");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], 3u);
+  EXPECT_EQ(t[1], 7u);
+  EXPECT_EQ(t[2], 11u);
+  EXPECT_TRUE(parse_transaction("").empty());
+}
+
+}  // namespace
+}  // namespace bvl::wl

@@ -1,0 +1,112 @@
+#include "workloads/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mapreduce/engine.hpp"
+#include "workloads/registry.hpp"
+#include "util/error.hpp"
+
+namespace bvl::wl {
+namespace {
+
+TEST(ParsePoint, RoundTripAndRejection) {
+  auto p = parse_point("1.5 -2 3e1", 3);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p[0], 1.5);
+  EXPECT_DOUBLE_EQ(p[1], -2.0);
+  EXPECT_DOUBLE_EQ(p[2], 30.0);
+  EXPECT_TRUE(parse_point("1 2", 3).empty());   // wrong arity
+  EXPECT_TRUE(parse_point("abc", 1).empty());
+}
+
+TEST(KMeansJob, PrepareSeedsKCentroids) {
+  KMeansJob job(6, 4);
+  mr::WorkCounters c;
+  job.prepare(64 * KB, 7, c);
+  ASSERT_EQ(job.centroids().size(), 6u);
+  for (const auto& cent : job.centroids()) EXPECT_EQ(cent.size(), 4u);
+  EXPECT_GT(c.input_records, 0);
+}
+
+TEST(KMeansJob, MapperRequiresPrepare) {
+  KMeansJob job;
+  EXPECT_THROW(job.make_mapper(), Error);
+}
+
+TEST(KMeansJob, OneIterationProducesKOrFewerCentroids) {
+  KMeansJob job(8, 8);
+  mr::JobConfig cfg;
+  cfg.input_size = 2 * MB;
+  cfg.block_size = 1 * MB;
+  cfg.spill_buffer = 256 * KB;
+  mr::Engine engine;
+  std::vector<mr::KV> out;
+  engine.run(job, cfg, [&](const mr::KV& kv) { out.push_back(kv); });
+  EXPECT_LE(out.size(), 8u);
+  EXPECT_GE(out.size(), 2u);
+  for (const auto& kv : out) {
+    EXPECT_EQ(kv.key.front(), 'c');
+    // Value = weight + 8 coordinates.
+    auto wp = parse_point(kv.value, 9);
+    ASSERT_EQ(wp.size(), 9u);
+    EXPECT_GT(wp[0], 0);  // positive cluster weight
+  }
+}
+
+TEST(KMeansJob, NewCentroidsReduceDistortion) {
+  // One Lloyd iteration must not increase the mean distance of points
+  // to their nearest centroid (checked on a fresh sample).
+  KMeansJob job(4, 4);
+  mr::JobConfig cfg;
+  cfg.input_size = 1 * MB;
+  cfg.block_size = 512 * KB;
+  cfg.spill_buffer = 256 * KB;
+  mr::Engine engine;
+  std::vector<std::vector<double>> updated;
+  engine.run(job, cfg, [&](const mr::KV& kv) {
+    auto wp = parse_point(kv.value, 5);
+    if (!wp.empty()) updated.emplace_back(wp.begin() + 1, wp.end());
+  });
+  ASSERT_FALSE(updated.empty());
+
+  auto distortion = [&](const std::vector<std::vector<double>>& cents) {
+    auto src = job.open_split(99, 32 * KB, 123);
+    mr::Record rec;
+    double acc = 0;
+    int n = 0;
+    while (src->next(rec)) {
+      auto p = parse_point(rec.value, 4);
+      if (p.empty()) continue;
+      double best = 1e300;
+      for (const auto& c : cents) {
+        double d = 0;
+        for (int j = 0; j < 4; ++j) d += (p[static_cast<std::size_t>(j)] - c[static_cast<std::size_t>(j)]) * (p[static_cast<std::size_t>(j)] - c[static_cast<std::size_t>(j)]);
+        best = std::min(best, d);
+      }
+      acc += std::sqrt(best);
+      ++n;
+    }
+    return acc / n;
+  };
+  EXPECT_LE(distortion(updated), distortion(job.centroids()) * 1.02);
+}
+
+TEST(KMeansJob, RegisteredAsExtension) {
+  auto ids = extension_workloads();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(long_name(ids[0]), "KMeans");
+  EXPECT_EQ(make_workload("KMeans")->name(), "KMeans");
+  EXPECT_EQ(make_workload("KM")->name(), "KMeans");
+  // Not part of the paper's six.
+  for (auto id : all_workloads()) EXPECT_NE(id, WorkloadId::kKMeans);
+}
+
+TEST(KMeansJob, RejectsBadGeometry) {
+  EXPECT_THROW(KMeansJob(1, 4), Error);
+  EXPECT_THROW(KMeansJob(4, 0), Error);
+}
+
+}  // namespace
+}  // namespace bvl::wl
