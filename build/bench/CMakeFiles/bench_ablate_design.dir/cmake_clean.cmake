@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_design.dir/bench_ablate_design.cpp.o"
+  "CMakeFiles/bench_ablate_design.dir/bench_ablate_design.cpp.o.d"
+  "bench_ablate_design"
+  "bench_ablate_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_ipc.dir/bench_fig01_ipc.cpp.o"
+  "CMakeFiles/bench_fig01_ipc.dir/bench_fig01_ipc.cpp.o.d"
+  "bench_fig01_ipc"
+  "bench_fig01_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_edp_suites.dir/bench_fig02_edp_suites.cpp.o"
+  "CMakeFiles/bench_fig02_edp_suites.dir/bench_fig02_edp_suites.cpp.o.d"
+  "bench_fig02_edp_suites"
+  "bench_fig02_edp_suites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_edp_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig03_micro_exec.cpp" "bench/CMakeFiles/bench_fig03_micro_exec.dir/bench_fig03_micro_exec.cpp.o" "gcc" "bench/CMakeFiles/bench_fig03_micro_exec.dir/bench_fig03_micro_exec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/bl_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/bl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/bl_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/bl_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/bl_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/bl_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/bl_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/bl_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

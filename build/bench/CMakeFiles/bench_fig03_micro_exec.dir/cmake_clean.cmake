@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_micro_exec.dir/bench_fig03_micro_exec.cpp.o"
+  "CMakeFiles/bench_fig03_micro_exec.dir/bench_fig03_micro_exec.cpp.o.d"
+  "bench_fig03_micro_exec"
+  "bench_fig03_micro_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_micro_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_real_exec.dir/bench_fig04_real_exec.cpp.o"
+  "CMakeFiles/bench_fig04_real_exec.dir/bench_fig04_real_exec.cpp.o.d"
+  "bench_fig04_real_exec"
+  "bench_fig04_real_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_real_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig0506_edp_freq.dir/bench_fig0506_edp_freq.cpp.o"
+  "CMakeFiles/bench_fig0506_edp_freq.dir/bench_fig0506_edp_freq.cpp.o.d"
+  "bench_fig0506_edp_freq"
+  "bench_fig0506_edp_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig0506_edp_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

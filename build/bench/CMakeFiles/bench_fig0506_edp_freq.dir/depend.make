@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig0506_edp_freq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig0708_phase_edp.dir/bench_fig0708_phase_edp.cpp.o"
+  "CMakeFiles/bench_fig0708_phase_edp.dir/bench_fig0708_phase_edp.cpp.o.d"
+  "bench_fig0708_phase_edp"
+  "bench_fig0708_phase_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig0708_phase_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig0708_phase_edp.
+# This may be replaced when dependencies are built.

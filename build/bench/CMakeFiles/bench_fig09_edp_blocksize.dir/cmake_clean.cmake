@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_edp_blocksize.dir/bench_fig09_edp_blocksize.cpp.o"
+  "CMakeFiles/bench_fig09_edp_blocksize.dir/bench_fig09_edp_blocksize.cpp.o.d"
+  "bench_fig09_edp_blocksize"
+  "bench_fig09_edp_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_edp_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1213_edp_datasize.dir/bench_fig1213_edp_datasize.cpp.o"
+  "CMakeFiles/bench_fig1213_edp_datasize.dir/bench_fig1213_edp_datasize.cpp.o.d"
+  "bench_fig1213_edp_datasize"
+  "bench_fig1213_edp_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1213_edp_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1213_edp_datasize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_accel_block.dir/bench_fig16_accel_block.cpp.o"
+  "CMakeFiles/bench_fig16_accel_block.dir/bench_fig16_accel_block.cpp.o.d"
+  "bench_fig16_accel_block"
+  "bench_fig16_accel_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_accel_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

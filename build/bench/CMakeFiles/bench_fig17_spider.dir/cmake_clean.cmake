@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_spider.dir/bench_fig17_spider.cpp.o"
+  "CMakeFiles/bench_fig17_spider.dir/bench_fig17_spider.cpp.o.d"
+  "bench_fig17_spider"
+  "bench_fig17_spider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_spider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

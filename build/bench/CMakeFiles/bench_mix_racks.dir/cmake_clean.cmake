@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mix_racks.dir/bench_mix_racks.cpp.o"
+  "CMakeFiles/bench_mix_racks.dir/bench_mix_racks.cpp.o.d"
+  "bench_mix_racks"
+  "bench_mix_racks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mix_racks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_mix_racks.
+# This may be replaced when dependencies are built.

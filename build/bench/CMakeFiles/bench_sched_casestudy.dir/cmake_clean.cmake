@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_casestudy.dir/bench_sched_casestudy.cpp.o"
+  "CMakeFiles/bench_sched_casestudy.dir/bench_sched_casestudy.cpp.o.d"
+  "bench_sched_casestudy"
+  "bench_sched_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_study.dir/accelerator_study.cpp.o"
+  "CMakeFiles/accelerator_study.dir/accelerator_study.cpp.o.d"
+  "accelerator_study"
+  "accelerator_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

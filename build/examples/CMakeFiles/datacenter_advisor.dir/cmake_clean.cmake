@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_advisor.dir/datacenter_advisor.cpp.o"
+  "CMakeFiles/datacenter_advisor.dir/datacenter_advisor.cpp.o.d"
+  "datacenter_advisor"
+  "datacenter_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_wordcount.dir/mapreduce_wordcount.cpp.o"
+  "CMakeFiles/mapreduce_wordcount.dir/mapreduce_wordcount.cpp.o.d"
+  "mapreduce_wordcount"
+  "mapreduce_wordcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

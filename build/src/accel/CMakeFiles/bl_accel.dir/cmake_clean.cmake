@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_accel.dir/fpga.cpp.o"
+  "CMakeFiles/bl_accel.dir/fpga.cpp.o.d"
+  "libbl_accel.a"
+  "libbl_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cache.cpp" "src/arch/CMakeFiles/bl_arch.dir/cache.cpp.o" "gcc" "src/arch/CMakeFiles/bl_arch.dir/cache.cpp.o.d"
+  "/root/repo/src/arch/cache_sim.cpp" "src/arch/CMakeFiles/bl_arch.dir/cache_sim.cpp.o" "gcc" "src/arch/CMakeFiles/bl_arch.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/arch/core_model.cpp" "src/arch/CMakeFiles/bl_arch.dir/core_model.cpp.o" "gcc" "src/arch/CMakeFiles/bl_arch.dir/core_model.cpp.o.d"
+  "/root/repo/src/arch/dvfs.cpp" "src/arch/CMakeFiles/bl_arch.dir/dvfs.cpp.o" "gcc" "src/arch/CMakeFiles/bl_arch.dir/dvfs.cpp.o.d"
+  "/root/repo/src/arch/server_config.cpp" "src/arch/CMakeFiles/bl_arch.dir/server_config.cpp.o" "gcc" "src/arch/CMakeFiles/bl_arch.dir/server_config.cpp.o.d"
+  "/root/repo/src/arch/signature.cpp" "src/arch/CMakeFiles/bl_arch.dir/signature.cpp.o" "gcc" "src/arch/CMakeFiles/bl_arch.dir/signature.cpp.o.d"
+  "/root/repo/src/arch/storage.cpp" "src/arch/CMakeFiles/bl_arch.dir/storage.cpp.o" "gcc" "src/arch/CMakeFiles/bl_arch.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_arch.dir/cache.cpp.o"
+  "CMakeFiles/bl_arch.dir/cache.cpp.o.d"
+  "CMakeFiles/bl_arch.dir/cache_sim.cpp.o"
+  "CMakeFiles/bl_arch.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/bl_arch.dir/core_model.cpp.o"
+  "CMakeFiles/bl_arch.dir/core_model.cpp.o.d"
+  "CMakeFiles/bl_arch.dir/dvfs.cpp.o"
+  "CMakeFiles/bl_arch.dir/dvfs.cpp.o.d"
+  "CMakeFiles/bl_arch.dir/server_config.cpp.o"
+  "CMakeFiles/bl_arch.dir/server_config.cpp.o.d"
+  "CMakeFiles/bl_arch.dir/signature.cpp.o"
+  "CMakeFiles/bl_arch.dir/signature.cpp.o.d"
+  "CMakeFiles/bl_arch.dir/storage.cpp.o"
+  "CMakeFiles/bl_arch.dir/storage.cpp.o.d"
+  "libbl_arch.a"
+  "libbl_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbl_arch.a"
+)

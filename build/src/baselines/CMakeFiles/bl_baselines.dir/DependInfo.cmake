@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/proxy.cpp" "src/baselines/CMakeFiles/bl_baselines.dir/proxy.cpp.o" "gcc" "src/baselines/CMakeFiles/bl_baselines.dir/proxy.cpp.o.d"
+  "/root/repo/src/baselines/suite.cpp" "src/baselines/CMakeFiles/bl_baselines.dir/suite.cpp.o" "gcc" "src/baselines/CMakeFiles/bl_baselines.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/bl_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/bl_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_baselines.dir/proxy.cpp.o"
+  "CMakeFiles/bl_baselines.dir/proxy.cpp.o.d"
+  "CMakeFiles/bl_baselines.dir/suite.cpp.o"
+  "CMakeFiles/bl_baselines.dir/suite.cpp.o.d"
+  "libbl_baselines.a"
+  "libbl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

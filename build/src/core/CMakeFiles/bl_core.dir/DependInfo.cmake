@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/characterizer.cpp" "src/core/CMakeFiles/bl_core.dir/characterizer.cpp.o" "gcc" "src/core/CMakeFiles/bl_core.dir/characterizer.cpp.o.d"
+  "/root/repo/src/core/classifier.cpp" "src/core/CMakeFiles/bl_core.dir/classifier.cpp.o" "gcc" "src/core/CMakeFiles/bl_core.dir/classifier.cpp.o.d"
+  "/root/repo/src/core/cluster_sim.cpp" "src/core/CMakeFiles/bl_core.dir/cluster_sim.cpp.o" "gcc" "src/core/CMakeFiles/bl_core.dir/cluster_sim.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/bl_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/bl_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/bl_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/bl_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/bl_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/bl_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/core/CMakeFiles/bl_core.dir/tuner.cpp.o" "gcc" "src/core/CMakeFiles/bl_core.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/bl_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/bl_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/bl_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/bl_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/bl_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/bl_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/bl_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

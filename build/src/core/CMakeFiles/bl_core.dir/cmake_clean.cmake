@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_core.dir/characterizer.cpp.o"
+  "CMakeFiles/bl_core.dir/characterizer.cpp.o.d"
+  "CMakeFiles/bl_core.dir/classifier.cpp.o"
+  "CMakeFiles/bl_core.dir/classifier.cpp.o.d"
+  "CMakeFiles/bl_core.dir/cluster_sim.cpp.o"
+  "CMakeFiles/bl_core.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/bl_core.dir/cost_model.cpp.o"
+  "CMakeFiles/bl_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/bl_core.dir/metrics.cpp.o"
+  "CMakeFiles/bl_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/bl_core.dir/scheduler.cpp.o"
+  "CMakeFiles/bl_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/bl_core.dir/tuner.cpp.o"
+  "CMakeFiles/bl_core.dir/tuner.cpp.o.d"
+  "libbl_core.a"
+  "libbl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

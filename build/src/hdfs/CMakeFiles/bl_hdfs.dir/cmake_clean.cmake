@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_hdfs.dir/dfs.cpp.o"
+  "CMakeFiles/bl_hdfs.dir/dfs.cpp.o.d"
+  "libbl_hdfs.a"
+  "libbl_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

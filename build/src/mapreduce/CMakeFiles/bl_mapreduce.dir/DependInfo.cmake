@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/api.cpp" "src/mapreduce/CMakeFiles/bl_mapreduce.dir/api.cpp.o" "gcc" "src/mapreduce/CMakeFiles/bl_mapreduce.dir/api.cpp.o.d"
+  "/root/repo/src/mapreduce/counters.cpp" "src/mapreduce/CMakeFiles/bl_mapreduce.dir/counters.cpp.o" "gcc" "src/mapreduce/CMakeFiles/bl_mapreduce.dir/counters.cpp.o.d"
+  "/root/repo/src/mapreduce/engine.cpp" "src/mapreduce/CMakeFiles/bl_mapreduce.dir/engine.cpp.o" "gcc" "src/mapreduce/CMakeFiles/bl_mapreduce.dir/engine.cpp.o.d"
+  "/root/repo/src/mapreduce/map_task.cpp" "src/mapreduce/CMakeFiles/bl_mapreduce.dir/map_task.cpp.o" "gcc" "src/mapreduce/CMakeFiles/bl_mapreduce.dir/map_task.cpp.o.d"
+  "/root/repo/src/mapreduce/merge.cpp" "src/mapreduce/CMakeFiles/bl_mapreduce.dir/merge.cpp.o" "gcc" "src/mapreduce/CMakeFiles/bl_mapreduce.dir/merge.cpp.o.d"
+  "/root/repo/src/mapreduce/reduce_task.cpp" "src/mapreduce/CMakeFiles/bl_mapreduce.dir/reduce_task.cpp.o" "gcc" "src/mapreduce/CMakeFiles/bl_mapreduce.dir/reduce_task.cpp.o.d"
+  "/root/repo/src/mapreduce/trace.cpp" "src/mapreduce/CMakeFiles/bl_mapreduce.dir/trace.cpp.o" "gcc" "src/mapreduce/CMakeFiles/bl_mapreduce.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdfs/CMakeFiles/bl_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/bl_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

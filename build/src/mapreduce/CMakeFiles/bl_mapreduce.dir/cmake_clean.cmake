@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_mapreduce.dir/api.cpp.o"
+  "CMakeFiles/bl_mapreduce.dir/api.cpp.o.d"
+  "CMakeFiles/bl_mapreduce.dir/counters.cpp.o"
+  "CMakeFiles/bl_mapreduce.dir/counters.cpp.o.d"
+  "CMakeFiles/bl_mapreduce.dir/engine.cpp.o"
+  "CMakeFiles/bl_mapreduce.dir/engine.cpp.o.d"
+  "CMakeFiles/bl_mapreduce.dir/map_task.cpp.o"
+  "CMakeFiles/bl_mapreduce.dir/map_task.cpp.o.d"
+  "CMakeFiles/bl_mapreduce.dir/merge.cpp.o"
+  "CMakeFiles/bl_mapreduce.dir/merge.cpp.o.d"
+  "CMakeFiles/bl_mapreduce.dir/reduce_task.cpp.o"
+  "CMakeFiles/bl_mapreduce.dir/reduce_task.cpp.o.d"
+  "CMakeFiles/bl_mapreduce.dir/trace.cpp.o"
+  "CMakeFiles/bl_mapreduce.dir/trace.cpp.o.d"
+  "libbl_mapreduce.a"
+  "libbl_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/calibration.cpp" "src/perf/CMakeFiles/bl_perf.dir/calibration.cpp.o" "gcc" "src/perf/CMakeFiles/bl_perf.dir/calibration.cpp.o.d"
+  "/root/repo/src/perf/meter_bridge.cpp" "src/perf/CMakeFiles/bl_perf.dir/meter_bridge.cpp.o" "gcc" "src/perf/CMakeFiles/bl_perf.dir/meter_bridge.cpp.o.d"
+  "/root/repo/src/perf/perf_model.cpp" "src/perf/CMakeFiles/bl_perf.dir/perf_model.cpp.o" "gcc" "src/perf/CMakeFiles/bl_perf.dir/perf_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/bl_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/bl_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/bl_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/bl_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_perf.dir/calibration.cpp.o"
+  "CMakeFiles/bl_perf.dir/calibration.cpp.o.d"
+  "CMakeFiles/bl_perf.dir/meter_bridge.cpp.o"
+  "CMakeFiles/bl_perf.dir/meter_bridge.cpp.o.d"
+  "CMakeFiles/bl_perf.dir/perf_model.cpp.o"
+  "CMakeFiles/bl_perf.dir/perf_model.cpp.o.d"
+  "libbl_perf.a"
+  "libbl_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

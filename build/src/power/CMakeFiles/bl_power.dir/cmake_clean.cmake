@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_power.dir/power_meter.cpp.o"
+  "CMakeFiles/bl_power.dir/power_meter.cpp.o.d"
+  "CMakeFiles/bl_power.dir/power_model.cpp.o"
+  "CMakeFiles/bl_power.dir/power_model.cpp.o.d"
+  "libbl_power.a"
+  "libbl_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

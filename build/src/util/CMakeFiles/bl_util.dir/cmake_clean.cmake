@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_util.dir/csv.cpp.o"
+  "CMakeFiles/bl_util.dir/csv.cpp.o.d"
+  "CMakeFiles/bl_util.dir/log.cpp.o"
+  "CMakeFiles/bl_util.dir/log.cpp.o.d"
+  "CMakeFiles/bl_util.dir/rng.cpp.o"
+  "CMakeFiles/bl_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bl_util.dir/stats.cpp.o"
+  "CMakeFiles/bl_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bl_util.dir/string_util.cpp.o"
+  "CMakeFiles/bl_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/bl_util.dir/table.cpp.o"
+  "CMakeFiles/bl_util.dir/table.cpp.o.d"
+  "libbl_util.a"
+  "libbl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

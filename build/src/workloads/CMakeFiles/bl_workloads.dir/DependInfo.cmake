@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/datagen.cpp" "src/workloads/CMakeFiles/bl_workloads.dir/datagen.cpp.o" "gcc" "src/workloads/CMakeFiles/bl_workloads.dir/datagen.cpp.o.d"
+  "/root/repo/src/workloads/fpgrowth.cpp" "src/workloads/CMakeFiles/bl_workloads.dir/fpgrowth.cpp.o" "gcc" "src/workloads/CMakeFiles/bl_workloads.dir/fpgrowth.cpp.o.d"
+  "/root/repo/src/workloads/fptree.cpp" "src/workloads/CMakeFiles/bl_workloads.dir/fptree.cpp.o" "gcc" "src/workloads/CMakeFiles/bl_workloads.dir/fptree.cpp.o.d"
+  "/root/repo/src/workloads/grep.cpp" "src/workloads/CMakeFiles/bl_workloads.dir/grep.cpp.o" "gcc" "src/workloads/CMakeFiles/bl_workloads.dir/grep.cpp.o.d"
+  "/root/repo/src/workloads/kmeans.cpp" "src/workloads/CMakeFiles/bl_workloads.dir/kmeans.cpp.o" "gcc" "src/workloads/CMakeFiles/bl_workloads.dir/kmeans.cpp.o.d"
+  "/root/repo/src/workloads/naive_bayes.cpp" "src/workloads/CMakeFiles/bl_workloads.dir/naive_bayes.cpp.o" "gcc" "src/workloads/CMakeFiles/bl_workloads.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/bl_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/bl_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/sort.cpp" "src/workloads/CMakeFiles/bl_workloads.dir/sort.cpp.o" "gcc" "src/workloads/CMakeFiles/bl_workloads.dir/sort.cpp.o.d"
+  "/root/repo/src/workloads/terasort.cpp" "src/workloads/CMakeFiles/bl_workloads.dir/terasort.cpp.o" "gcc" "src/workloads/CMakeFiles/bl_workloads.dir/terasort.cpp.o.d"
+  "/root/repo/src/workloads/wordcount.cpp" "src/workloads/CMakeFiles/bl_workloads.dir/wordcount.cpp.o" "gcc" "src/workloads/CMakeFiles/bl_workloads.dir/wordcount.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/bl_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/bl_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/bl_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bl_workloads.dir/datagen.cpp.o"
+  "CMakeFiles/bl_workloads.dir/datagen.cpp.o.d"
+  "CMakeFiles/bl_workloads.dir/fpgrowth.cpp.o"
+  "CMakeFiles/bl_workloads.dir/fpgrowth.cpp.o.d"
+  "CMakeFiles/bl_workloads.dir/fptree.cpp.o"
+  "CMakeFiles/bl_workloads.dir/fptree.cpp.o.d"
+  "CMakeFiles/bl_workloads.dir/grep.cpp.o"
+  "CMakeFiles/bl_workloads.dir/grep.cpp.o.d"
+  "CMakeFiles/bl_workloads.dir/kmeans.cpp.o"
+  "CMakeFiles/bl_workloads.dir/kmeans.cpp.o.d"
+  "CMakeFiles/bl_workloads.dir/naive_bayes.cpp.o"
+  "CMakeFiles/bl_workloads.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/bl_workloads.dir/registry.cpp.o"
+  "CMakeFiles/bl_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/bl_workloads.dir/sort.cpp.o"
+  "CMakeFiles/bl_workloads.dir/sort.cpp.o.d"
+  "CMakeFiles/bl_workloads.dir/terasort.cpp.o"
+  "CMakeFiles/bl_workloads.dir/terasort.cpp.o.d"
+  "CMakeFiles/bl_workloads.dir/wordcount.cpp.o"
+  "CMakeFiles/bl_workloads.dir/wordcount.cpp.o.d"
+  "libbl_workloads.a"
+  "libbl_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bl_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch.dir/arch/test_arch_misc.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_arch_misc.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_cache.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_cache.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_cache_sim.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_cache_sim.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_core_model.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_core_model.cpp.o.d"
+  "test_arch"
+  "test_arch.pdb"
+  "test_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

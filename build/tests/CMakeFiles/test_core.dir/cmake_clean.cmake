@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_characterizer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_characterizer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cluster_sim.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cluster_sim.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_metrics.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_metrics.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_paper_claims.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_paper_claims.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_scheduler.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_tuner.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_tuner.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

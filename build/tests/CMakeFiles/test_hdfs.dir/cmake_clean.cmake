@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdfs.dir/hdfs/test_block_props.cpp.o"
+  "CMakeFiles/test_hdfs.dir/hdfs/test_block_props.cpp.o.d"
+  "CMakeFiles/test_hdfs.dir/hdfs/test_dfs.cpp.o"
+  "CMakeFiles/test_hdfs.dir/hdfs/test_dfs.cpp.o.d"
+  "test_hdfs"
+  "test_hdfs.pdb"
+  "test_hdfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_counters.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_counters.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_engine.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_engine.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_map_task.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_map_task.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_merge.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_merge.cpp.o.d"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_reduce_task.cpp.o"
+  "CMakeFiles/test_mapreduce.dir/mapreduce/test_reduce_task.cpp.o.d"
+  "test_mapreduce"
+  "test_mapreduce.pdb"
+  "test_mapreduce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf.dir/perf/test_meter_bridge.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_meter_bridge.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_perf_model.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_perf_model.cpp.o.d"
+  "CMakeFiles/test_perf.dir/perf/test_signature_props.cpp.o"
+  "CMakeFiles/test_perf.dir/perf/test_signature_props.cpp.o.d"
+  "test_perf"
+  "test_perf.pdb"
+  "test_perf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
