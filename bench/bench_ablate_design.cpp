@@ -102,7 +102,8 @@ void ablate_compression() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   ablate_combiner();
   ablate_spill_buffer();
   ablate_mlp();

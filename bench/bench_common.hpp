@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -13,12 +14,37 @@
 #include "core/cost_model.hpp"
 #include "core/metrics.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bvl::bench {
 
 inline core::Characterizer& characterizer() {
   static core::Characterizer ch;
   return ch;
+}
+
+/// Parses the flags shared by every figure bench and applies them to
+/// the shared characterizer. Currently:
+///   --threads N | --threads=N   engine executor width per job
+///                               (0 = hardware concurrency, 1 = serial;
+///                               default 0). The printed tables are
+///                               bit-identical at any width — the flag
+///                               only changes wall-clock.
+/// Unknown arguments are ignored so benches can add their own.
+inline void init(int argc, char** argv) {
+  int threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (a.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(a.c_str() + 10);
+    } else {
+      continue;
+    }
+    if (threads < 0) threads = 0;
+  }
+  characterizer().set_exec_threads(threads);
 }
 
 inline std::vector<Bytes> micro_block_sweep() {

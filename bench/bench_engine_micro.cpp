@@ -2,7 +2,20 @@
 // throughput per workload, cache-simulator access rate, pricing cost.
 // These guard the harness's own performance (the figure benches rerun
 // hundreds of priced sweeps).
+//
+// --threads N | --threads=N sets the engine executor width for the
+// engine benchmarks (JobConfig::exec_threads; default 1 so runs are
+// comparable across hosts). On a multi-core host
+//   ./bench_engine_micro --threads 4
+// should beat --threads 1 by ~min(4, tasks)x on BM_EngineRun while
+// producing the identical JobTrace (the equivalence tests assert the
+// latter).
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "arch/cache_sim.hpp"
 #include "mapreduce/engine.hpp"
@@ -14,6 +27,8 @@ namespace {
 
 using namespace bvl;
 
+int g_threads = 1;
+
 void BM_EngineRun(benchmark::State& state) {
   auto id = wl::all_workloads()[static_cast<std::size_t>(state.range(0))];
   for (auto _ : state) {
@@ -23,12 +38,31 @@ void BM_EngineRun(benchmark::State& state) {
     cfg.input_size = 8 * MB;
     cfg.block_size = 2 * MB;
     cfg.spill_buffer = 1 * MB;
+    cfg.exec_threads = g_threads;
     mr::JobTrace t = engine.run(*def, cfg);
     benchmark::DoNotOptimize(t.map_total().emits);
   }
   state.SetLabel(wl::long_name(id));
 }
 BENCHMARK(BM_EngineRun)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+// Wider job (16 map tasks) so executor scaling is visible past 4
+// threads; this is the wall-clock target for the --threads speedup.
+void BM_EngineRunWide(benchmark::State& state) {
+  for (auto _ : state) {
+    auto def = wl::make_workload(wl::WorkloadId::kWordCount);
+    mr::Engine engine;
+    mr::JobConfig cfg;
+    cfg.input_size = 32 * MB;
+    cfg.block_size = 2 * MB;
+    cfg.spill_buffer = 1 * MB;
+    cfg.exec_threads = g_threads;
+    mr::JobTrace t = engine.run(*def, cfg);
+    benchmark::DoNotOptimize(t.map_total().emits);
+  }
+  state.SetLabel("WordCount 16 tasks, exec_threads=" + std::to_string(g_threads));
+}
+BENCHMARK(BM_EngineRunWide)->Unit(benchmark::kMillisecond);
 
 void BM_CacheSimAccess(benchmark::State& state) {
   arch::CacheLevelConfig cfg{.name = "L2",
@@ -63,4 +97,24 @@ BENCHMARK(BM_PriceTrace);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --threads before google-benchmark sees the arg list (it
+  // rejects flags it does not know).
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      g_threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_threads = std::atoi(argv[i] + 10);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (g_threads < 0) g_threads = 0;
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,7 +6,8 @@
 
 using namespace bvl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_header("Fig. 1 - IPC of SPEC, PARSEC and Hadoop on little/big core",
                       "Sec. 2.1, Fig. 1");
 

@@ -8,7 +8,8 @@
 
 using namespace bvl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_header("Fig. 2 - ED^xP ratio Atom vs Xeon per suite", "Sec. 2.2, Fig. 2",
                       "ratio > 1: Atom's metric is worse (Xeon preferred)");
 

@@ -6,7 +6,8 @@
 
 using namespace bvl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_header("Fig. 3 - micro-benchmark execution time vs block size x frequency",
                       "Sec. 3.1.1, Fig. 3", "values: seconds; 1 GB/node");
 

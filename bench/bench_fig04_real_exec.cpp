@@ -4,7 +4,8 @@
 
 using namespace bvl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_header("Fig. 4 - real-world application execution time vs block size x frequency",
                       "Sec. 3.1.1, Fig. 4", "values: seconds; 10 GB/node");
 

@@ -6,7 +6,8 @@
 
 using namespace bvl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_header("Figs. 5-6 - entire-application EDP vs frequency (normalized)",
                       "Sec. 3.2.1, Figs. 5 and 6",
                       "normalized to Atom @ 1.2 GHz, 512 MB block, per workload");

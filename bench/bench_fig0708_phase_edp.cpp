@@ -5,7 +5,8 @@
 
 using namespace bvl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_header("Figs. 7-8 - map/reduce phase EDP vs frequency (normalized)",
                       "Sec. 3.2.2, Figs. 7 and 8",
                       "normalized per workload+phase to Atom @ 1.2 GHz; '-' = no reduce phase");

@@ -4,7 +4,8 @@
 
 using namespace bvl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_header("Fig. 9 - Xeon/Atom EDP ratio vs HDFS block size @1.8 GHz",
                       "Sec. 3.2.3, Fig. 9", "ratio > 1: Atom more energy-efficient");
 

@@ -5,7 +5,8 @@
 
 using namespace bvl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_header("Figs. 10-11 - execution breakdown and total vs input data size",
                       "Sec. 3.3, Figs. 10 and 11", "512 MB blocks, 1.8 GHz");
 

@@ -5,7 +5,8 @@
 
 using namespace bvl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_header("Figs. 12-13 - EDP vs input data size (entire app and per phase)",
                       "Sec. 3.3, Figs. 12 and 13",
                       "normalized per workload to Atom @ 1 GB; 512 MB blocks, 1.8 GHz");

@@ -13,7 +13,8 @@ double transfer_bytes_for(const mr::JobTrace& trace) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_header("Fig. 14 - post-acceleration Atom-vs-Xeon speedup ratio (Eq. 1)",
                       "Sec. 3.4, Fig. 14",
                       "< 1: acceleration weakens the case for migrating to Xeon");

@@ -5,7 +5,8 @@
 
 using namespace bvl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_header("Fig. 15 - speedup ratio before/after acceleration vs frequency",
                       "Sec. 3.4.1, Fig. 15", "100x mapper acceleration");
 

@@ -5,7 +5,8 @@
 
 using namespace bvl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_header("Fig. 16 - speedup ratio before/after acceleration vs block size",
                       "Sec. 3.4.1, Fig. 16", "100x mapper acceleration, 1.8 GHz");
 

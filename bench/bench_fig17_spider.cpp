@@ -5,7 +5,8 @@
 
 using namespace bvl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_header("Fig. 17 - cost metrics normalized to 8 Xeon cores",
                       "Sec. 3.5, Fig. 17",
                       "< 1 (inner region): configuration beats 8 Xeon cores on that metric");

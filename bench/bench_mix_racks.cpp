@@ -7,7 +7,8 @@
 
 using namespace bvl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_header("Mix-on-rack study - homogeneous vs heterogeneous racks",
                       "extension of Sec. 3.5 (cloud-provider view)",
                       "4-node racks; jobs queued in order; one job per node at a time");
@@ -25,7 +26,8 @@ int main() {
     for (auto policy : {core::MixPolicy::kClassAware, core::MixPolicy::kEarliestFinish,
                         core::MixPolicy::kRoundRobin}) {
       core::MixResult res =
-          core::simulate_mix(bench::characterizer(), jobs, racks[r], policy);
+          core::simulate_mix(bench::characterizer(), jobs, racks[r], policy,
+                             bench::characterizer().exec_threads());
       t.add_row({rack_names[r], core::to_string(policy), fmt_fixed(res.makespan, 0),
                  fmt_fixed(res.total_energy, 0), fmt_sci(res.edxp(1)), fmt_sci(res.edxp(2))});
     }
@@ -34,7 +36,8 @@ int main() {
 
   std::printf("\nper-job placement under class-aware policy on the hetero rack:\n");
   core::MixResult hetero =
-      core::simulate_mix(bench::characterizer(), jobs, racks[2], core::MixPolicy::kClassAware);
+      core::simulate_mix(bench::characterizer(), jobs, racks[2], core::MixPolicy::kClassAware,
+                         bench::characterizer().exec_threads());
   TextTable s({"job", "class", "node", "start[s]", "finish[s]"});
   for (const auto& j : hetero.schedule) {
     s.add_row({wl::short_name(j.job.workload), core::to_string(j.app_class),

@@ -7,7 +7,8 @@
 
 using namespace bvl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_header("Sec. 3.5 - heterogeneous scheduling case study",
                       "Sec. 3.5 pseudo-code + Table 3 argmin",
                       "pool: 8 Xeon + 8 Atom cores; goal shown per section");

@@ -6,7 +6,8 @@
 
 using namespace bvl;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   bench::print_header("Table 3 - operational and capital cost vs core count",
                       "Sec. 3.5, Table 3", "512 MB blocks, 1.8 GHz, mappers = cores");
 

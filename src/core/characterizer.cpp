@@ -19,9 +19,13 @@ Characterizer::Key Characterizer::key_of(const RunSpec& spec) const {
 
 const mr::JobTrace& Characterizer::trace(const RunSpec& spec) {
   Key k = key_of(spec);
-  auto it = cache_.find(k);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(k);
+    if (it != cache_.end()) return it->second;
+  }
 
+  // Characterize outside the lock so distinct specs run in parallel.
   auto def = wl::make_workload(spec.workload);
   mr::JobConfig cfg;
   cfg.input_size = spec.input_size;
@@ -31,21 +35,31 @@ const mr::JobTrace& Characterizer::trace(const RunSpec& spec) {
   cfg.sim_scale = std::max(1.0, static_cast<double>(spec.input_size) /
                                     static_cast<double>(target_exec_));
   cfg.seed = seed_;
+  cfg.exec_threads = exec_threads_;
   mr::JobTrace t = engine_.run(*def, cfg);
-  auto [pos, inserted] = cache_.emplace(k, std::move(t));
-  require(inserted, "Characterizer: cache insert raced");
-  return pos->second;
+
+  // Two threads racing on the same key computed identical traces
+  // (engine determinism); keep whichever landed first. std::map node
+  // stability keeps returned references valid forever.
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.emplace(k, std::move(t)).first->second;
 }
 
 perf::RunResult Characterizer::run(const RunSpec& spec, const arch::ServerConfig& server) {
-  auto it = models_.find(server.name);
-  if (it == models_.end()) {
-    it = models_
-             .emplace(server.name,
-                      std::make_unique<perf::PerfModel>(server, dfs_, cluster_))
-             .first;
+  const mr::JobTrace& t = trace(spec);
+  perf::PerfModel* model = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = models_.find(server.name);
+    if (it == models_.end()) {
+      it = models_
+               .emplace(server.name,
+                        std::make_unique<perf::PerfModel>(server, dfs_, cluster_))
+               .first;
+    }
+    model = it->second.get();
   }
-  return it->second->price(trace(spec), spec.freq, spec.mappers);
+  return model->price(t, spec.freq, spec.mappers);  // price() is const/stateless
 }
 
 std::pair<perf::RunResult, perf::RunResult> Characterizer::run_pair(const RunSpec& spec) {

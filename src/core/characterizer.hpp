@@ -7,6 +7,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <tuple>
 
 #include "arch/server_config.hpp"
@@ -39,7 +40,10 @@ class Characterizer {
   explicit Characterizer(hdfs::DfsConfig dfs = {}, perf::ClusterConfig cluster = {},
                          Bytes target_exec_bytes = 16 * MB, std::uint64_t seed = 42);
 
-  /// Machine-independent trace for the spec (cached).
+  /// Machine-independent trace for the spec (cached). Thread-safe:
+  /// concurrent callers may characterize different specs in parallel
+  /// (cluster_sim prewarms the cache this way); a racing pair on the
+  /// same key computes the identical trace and the first insert wins.
   const mr::JobTrace& trace(const RunSpec& spec);
 
   /// Prices the spec's trace on `server` at the spec's operating
@@ -48,6 +52,13 @@ class Characterizer {
 
   /// Convenience for the ubiquitous Atom-vs-Xeon pair.
   std::pair<perf::RunResult, perf::RunResult> run_pair(const RunSpec& spec);
+
+  /// Worker-pool width each engine execution runs with (JobConfig::
+  /// exec_threads semantics: 0 = hardware concurrency, 1 = serial).
+  /// Thread count never changes trace contents, so it is not part of
+  /// the cache key.
+  void set_exec_threads(int n) { exec_threads_ = n; }
+  int exec_threads() const { return exec_threads_; }
 
   const hdfs::DfsConfig& dfs() const { return dfs_; }
   const perf::ClusterConfig& cluster_config() const { return cluster_; }
@@ -60,7 +71,9 @@ class Characterizer {
   perf::ClusterConfig cluster_;
   Bytes target_exec_;
   std::uint64_t seed_;
+  int exec_threads_ = 0;
   mr::Engine engine_;
+  std::mutex mu_;  ///< guards cache_ and models_ (node refs stay stable)
   std::map<Key, mr::JobTrace> cache_;
   std::map<std::string, std::unique_ptr<perf::PerfModel>> models_;
 };

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
+#include <utility>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bvl::core {
 
@@ -55,8 +58,27 @@ double MixResult::edxp(int x) const {
 }
 
 MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
-                       const std::vector<NodeSpec>& rack, MixPolicy policy) {
+                       const std::vector<NodeSpec>& rack, MixPolicy policy,
+                       int exec_threads) {
   std::vector<NodeState> nodes = expand(rack);
+
+  // Warm the characterizer's trace cache for every distinct job spec
+  // in parallel: list scheduling below is inherently sequential, but
+  // almost all of its cost is the first engine run per spec. The trace
+  // is mapper-count independent, so one warm per (workload, input)
+  // pair covers every node type. Characterizer::trace is thread-safe.
+  {
+    std::vector<RunSpec> distinct;
+    std::set<std::pair<int, Bytes>> seen;
+    for (const auto& job : jobs) {
+      if (!seen.insert({static_cast<int>(job.workload), job.input_size}).second) continue;
+      RunSpec spec;
+      spec.workload = job.workload;
+      spec.input_size = job.input_size;
+      distinct.push_back(spec);
+    }
+    parallel_for(exec_threads, distinct.size(), [&](std::size_t i) { ch.trace(distinct[i]); });
+  }
   MixResult result;
   std::size_t rr_cursor = 0;
 

@@ -54,8 +54,15 @@ std::string to_string(MixPolicy p);
 /// Simulates `jobs` (processed in order) on the `rack` under `policy`.
 /// Each job occupies one node exclusively; per-job runtimes/energy come
 /// from the Characterizer at the node's full core count.
+///
+/// `exec_threads` sizes a worker pool that pre-characterizes every
+/// distinct job spec of the mix in parallel before the (sequential)
+/// list scheduling — the engine runs dominate the cost, the scheduling
+/// itself then only prices cached traces. 0 = one worker per hardware
+/// thread, 1 = fully serial. The schedule is identical either way.
 MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
-                       const std::vector<NodeSpec>& rack, MixPolicy policy);
+                       const std::vector<NodeSpec>& rack, MixPolicy policy,
+                       int exec_threads = 0);
 
 /// Convenience: the paper's comparison racks — all-Xeon, all-Atom, and
 /// the heterogeneous half/half rack, each with `nodes` total nodes.

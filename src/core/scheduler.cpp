@@ -37,9 +37,41 @@ Allocation schedule_measured(Characterizer& ch, const RunSpec& spec, const Goal&
   return a;
 }
 
+Allocation clamp_to_pool(Allocation a, const CorePool& pool) {
+  require(pool.xeon_cores >= 0 && pool.atom_cores >= 0, "clamp_to_pool: negative pool");
+  if (pool.xeon_cores == 0 && pool.atom_cores == 0) return {0, 0, a.rationale + " (empty pool)"};
+
+  // Fall back to the other side when the preferred side is absent.
+  // The pool is nonempty, so the fallback side has >= 1 core — the old
+  // max(1, pool_side) fallback could fabricate a core on an exhausted
+  // side, or fall straight through on a zero-core request.
+  if (a.xeon_cores > 0 && pool.xeon_cores == 0) {
+    a = {0, std::min(8, pool.atom_cores),
+         a.rationale + " (no Xeon available; fell back to Atom)"};
+  } else if (a.atom_cores > 0 && pool.atom_cores == 0) {
+    a = {std::min(8, pool.xeon_cores), 0,
+         a.rationale + " (no Atom available; fell back to Xeon)"};
+  }
+  a.xeon_cores = std::min(a.xeon_cores, pool.xeon_cores);
+  a.atom_cores = std::min(a.atom_cores, pool.atom_cores);
+
+  // Degenerate request (nothing allocated on either side): place it on
+  // the larger pool side rather than returning a zero-core allocation.
+  if (a.xeon_cores == 0 && a.atom_cores == 0) {
+    if (pool.xeon_cores >= pool.atom_cores) {
+      a.xeon_cores = std::min(8, pool.xeon_cores);
+    } else {
+      a.atom_cores = std::min(8, pool.atom_cores);
+    }
+    a.rationale += " (empty request; defaulted to larger pool side)";
+  }
+  return a;
+}
+
 std::vector<PlacementDecision> plan_jobs(Characterizer& ch, const std::vector<JobRequest>& jobs,
                                          const CorePool& pool, const Goal& goal) {
   require(pool.xeon_cores >= 0 && pool.atom_cores >= 0, "plan_jobs: negative pool");
+  require(pool.xeon_cores + pool.atom_cores > 0, "plan_jobs: empty pool");
   std::vector<PlacementDecision> out;
   out.reserve(jobs.size());
 
@@ -51,25 +83,7 @@ std::vector<PlacementDecision> plan_jobs(Characterizer& ch, const std::vector<Jo
     PlacementDecision d;
     d.job = job;
     d.app_class = classify_workload(ch, job.workload);
-    d.allocation = schedule_measured(ch, spec, goal);
-
-    // Clamp to the available pool, falling back to the other side if
-    // a side is absent.
-    if (d.allocation.xeon_cores > 0) {
-      if (pool.xeon_cores == 0) {
-        d.allocation = {0, std::min(8, std::max(1, pool.atom_cores)),
-                        d.allocation.rationale + " (no Xeon available; fell back to Atom)"};
-      } else {
-        d.allocation.xeon_cores = std::min(d.allocation.xeon_cores, pool.xeon_cores);
-      }
-    } else if (d.allocation.atom_cores > 0) {
-      if (pool.atom_cores == 0) {
-        d.allocation = {std::min(8, std::max(1, pool.xeon_cores)), 0,
-                        d.allocation.rationale + " (no Atom available; fell back to Xeon)"};
-      } else {
-        d.allocation.atom_cores = std::min(d.allocation.atom_cores, pool.atom_cores);
-      }
-    }
+    d.allocation = clamp_to_pool(schedule_measured(ch, spec, goal), pool);
 
     // Price the final placement.
     const bool on_xeon = d.allocation.uses_xeon();

@@ -50,6 +50,20 @@ Allocation schedule_by_class(AppClass cls, const Goal& goal);
 /// and allocates the argmin of the goal metric.
 Allocation schedule_measured(Characterizer& ch, const RunSpec& spec, const Goal& goal);
 
+/// Available heterogeneous pool (X Xeon + Y Atom cores).
+struct CorePool {
+  int xeon_cores = 8;
+  int atom_cores = 8;
+};
+
+/// Clamps `a` to the pool's per-side capacity, falling back to the
+/// other side when the preferred side is absent. Guarantees a nonzero
+/// allocation whenever the pool has any cores (in particular a
+/// degenerate zero-core request on a pool with both sides nonzero is
+/// placed on the larger side, never returned empty); an empty pool
+/// yields an empty allocation.
+Allocation clamp_to_pool(Allocation a, const CorePool& pool);
+
 /// One job of a mix to be placed on a finite pool.
 struct JobRequest {
   wl::WorkloadId workload;
@@ -65,14 +79,9 @@ struct PlacementDecision {
   Seconds delay = 0;
 };
 
-/// Available heterogeneous pool (X Xeon + Y Atom cores).
-struct CorePool {
-  int xeon_cores = 8;
-  int atom_cores = 8;
-};
-
-/// Places each job via schedule_measured, clamped to the pool.
-/// Returns per-job decisions; jobs run one at a time (batch model).
+/// Places each job via schedule_measured, clamped to the pool
+/// (clamp_to_pool). Throws on an empty pool. Returns per-job
+/// decisions; jobs run one at a time (batch model).
 std::vector<PlacementDecision> plan_jobs(Characterizer& ch, const std::vector<JobRequest>& jobs,
                                          const CorePool& pool, const Goal& goal);
 

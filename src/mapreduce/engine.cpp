@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "hdfs/dfs.hpp"
 #include "mapreduce/map_task.hpp"
@@ -9,6 +10,7 @@
 #include "mapreduce/reduce_task.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace bvl::mr {
 
@@ -39,10 +41,28 @@ JobTrace Engine::run(JobDefinition& def, const JobConfig& cfg,
   require(cfg.block_size > 0, "Engine::run: zero block size");
   require(cfg.sim_scale >= 1.0, "Engine::run: sim_scale must be >= 1");
   require(cfg.spill_buffer > 0, "Engine::run: zero spill buffer");
+  require(cfg.exec_threads >= 0, "Engine::run: negative exec_threads");
 
   JobTrace trace;
   trace.workload = def.name();
   trace.config = cfg;
+
+  // Executor pool, created lazily on the first multi-task phase and
+  // shared by the map and reduce waves. Tasks are pure functions of
+  // their index (the JobDefinition is only read), so executing them
+  // concurrently and merging the per-task results in task-index order
+  // below yields a trace that is bit-identical at any width.
+  const int exec_threads = ThreadPool::resolve(cfg.exec_threads);
+  trace.exec_threads_used = exec_threads;
+  std::unique_ptr<ThreadPool> pool;
+  auto run_tasks = [&](std::size_t n, const std::function<void(std::size_t)>& task) {
+    if (exec_threads > 1 && n > 1) {
+      if (!pool) pool = std::make_unique<ThreadPool>(exec_threads);
+      pool->parallel_for(n, task);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) task(i);
+    }
+  };
 
   const bool map_only = cfg.num_reducers == 0 || def.make_reducer() == nullptr;
   int reducers = map_only ? 0 : (cfg.num_reducers > 0 ? cfg.num_reducers : def.default_reducers());
@@ -66,7 +86,7 @@ JobTrace Engine::run(JobDefinition& def, const JobConfig& cfg,
   }
 
   log_info("engine: job=", trace.workload, " blocks=", blocks.size(), " reducers=", reducers,
-           " sim_scale=", cfg.sim_scale);
+           " sim_scale=", cfg.sim_scale, " exec_threads=", exec_threads);
 
   // ---- Map phase ----
   const bool has_combiner = cfg.use_combiner && def.make_combiner() != nullptr;
@@ -75,12 +95,22 @@ JobTrace Engine::run(JobDefinition& def, const JobConfig& cfg,
   double total_exec_input = 0;
   double total_logical_input = 0;
 
-  for (const auto& blk : blocks) {
+  // Execute every map task concurrently; each worker touches only its
+  // own result slot. The trace-facing bookkeeping below runs serially
+  // in block order so counters, sink calls and saturation flags are
+  // merged deterministically.
+  std::vector<MapTaskResult> map_results(blocks.size());
+  run_tasks(blocks.size(), [&](std::size_t i) {
+    const auto& blk = blocks[i];
     Bytes exec_bytes = std::max<Bytes>(
         kMinExecSplit, static_cast<Bytes>(static_cast<double>(blk.length) / cfg.sim_scale));
-    MapTaskResult r =
-        run_map_task(def, blk.id, exec_bytes, exec_buffer, cfg.use_combiner,
-                     task_seed(cfg.seed, blk.id));
+    map_results[i] = run_map_task(def, blk.id, exec_bytes, exec_buffer, cfg.use_combiner,
+                                  task_seed(cfg.seed, blk.id));
+  });
+
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const auto& blk = blocks[i];
+    MapTaskResult& r = map_results[i];
 
     // Map-side partitioning cost (one hash per surviving output pair).
     if (!map_only) r.counters.hash_ops += static_cast<double>(r.output.size());
@@ -140,8 +170,16 @@ JobTrace Engine::run(JobDefinition& def, const JobConfig& cfg,
     // at any scale: its counters are already logical.
     double reduce_scale = trace.combiner_saturated ? 1.0 : global_scale;
     double reduce_adj = trace.combiner_saturated ? 1.0 : log_adj;
+
+    // Reduce tasks are independent once the segments are routed; run
+    // them on the same pool, then commit results in partition order.
+    std::vector<ReduceTaskResult> reduce_results(static_cast<std::size_t>(reducers));
+    run_tasks(static_cast<std::size_t>(reducers), [&](std::size_t r) {
+      reduce_results[r] = run_reduce_task(def, std::move(segments[r]));
+    });
+
     for (int r = 0; r < reducers; ++r) {
-      ReduceTaskResult res = run_reduce_task(def, std::move(segments[static_cast<std::size_t>(r)]));
+      ReduceTaskResult& res = reduce_results[static_cast<std::size_t>(r)];
       if (output_sink)
         for (const auto& kv : res.output) output_sink(kv);
       TaskTrace t;

@@ -10,6 +10,13 @@
 // exactly — spill count, merge fan-in, tasks, waves — while linear
 // work rescales proportionally. Tests verify scaled and unscaled runs
 // agree.
+//
+// Parallel execution: map tasks (then reduce tasks) run concurrently
+// on a JobConfig::exec_threads-wide worker pool. Each task is a pure
+// function of its index and writes only its own result slot; the
+// engine merges results into the trace serially in task-index order,
+// so the JobTrace is bit-identical regardless of thread count
+// (verified by tests/mapreduce/test_engine_parallel.cpp).
 #pragma once
 
 #include <functional>

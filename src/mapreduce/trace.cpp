@@ -2,6 +2,19 @@
 
 namespace bvl::mr {
 
+namespace {
+std::size_t ceil_div(std::size_t tasks, int threads) {
+  std::size_t w = threads < 1 ? 1 : static_cast<std::size_t>(threads);
+  return (tasks + w - 1) / w;
+}
+}  // namespace
+
+std::size_t JobTrace::map_exec_waves() const { return ceil_div(map_tasks.size(), exec_threads_used); }
+
+std::size_t JobTrace::reduce_exec_waves() const {
+  return ceil_div(reduce_tasks.size(), exec_threads_used);
+}
+
 WorkCounters JobTrace::map_total() const {
   WorkCounters total;
   for (const auto& t : map_tasks) total.add(t.counters);

@@ -33,8 +33,17 @@ struct JobTrace {
   /// WorkCounters::scaled).
   bool combiner_saturated = false;
 
+  /// Resolved executor width the engine ran with (>= 1; config's
+  /// exec_threads = 0 resolves to the hardware thread count). Purely
+  /// informational — trace contents never depend on it.
+  int exec_threads_used = 1;
+
   std::size_t num_map_tasks() const { return map_tasks.size(); }
   std::size_t num_reduce_tasks() const { return reduce_tasks.size(); }
+
+  /// Executor waves a phase needed: ceil(tasks / exec_threads_used).
+  std::size_t map_exec_waves() const;
+  std::size_t reduce_exec_waves() const;
 
   WorkCounters map_total() const;
   WorkCounters reduce_total() const;

@@ -1,19 +1,26 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace bvl {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
-}
+// Atomic level + a sink mutex keep logging safe from engine worker
+// threads (levels are read on every call site, possibly concurrently
+// with a set_log_level from the main thread).
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+std::mutex g_sink_mu;
+}  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
   const char* tag = level == LogLevel::kDebug ? "debug" : level == LogLevel::kInfo ? "info" : "warn";
+  std::lock_guard<std::mutex> lock(g_sink_mu);
   std::cerr << "[bvl:" << tag << "] " << msg << '\n';
 }
 

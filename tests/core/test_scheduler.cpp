@@ -116,6 +116,41 @@ TEST(PlanJobs, FallsBackWhenPoolSideMissing) {
   EXPECT_GT(decisions[0].allocation.atom_cores, 0);
 }
 
+TEST(ClampToPool, FallbackNeverReturnsZeroCoresOnNonemptyPool) {
+  // Regression: the old inline clamp fell straight through a
+  // zero-core request (leaving it empty even with cores available)
+  // and fabricated a phantom core when the fallback side was empty.
+  Allocation none{0, 0, "degenerate"};
+  Allocation got = clamp_to_pool(none, CorePool{4, 2});
+  EXPECT_GT(got.xeon_cores + got.atom_cores, 0);
+  EXPECT_LE(got.xeon_cores, 4);
+  EXPECT_LE(got.atom_cores, 2);
+
+  // Both pool sides nonzero: a normal request clamps, never zeroes.
+  Allocation want_xeon{8, 0, ""};
+  Allocation clamped = clamp_to_pool(want_xeon, CorePool{2, 8});
+  EXPECT_EQ(clamped.xeon_cores, 2);
+  EXPECT_EQ(clamped.atom_cores, 0);
+
+  // Preferred side absent: falls back to the other side's cores.
+  Allocation fell = clamp_to_pool(want_xeon, CorePool{0, 8});
+  EXPECT_EQ(fell.xeon_cores, 0);
+  EXPECT_GT(fell.atom_cores, 0);
+  Allocation fell2 = clamp_to_pool(Allocation{0, 8, ""}, CorePool{3, 0});
+  EXPECT_EQ(fell2.atom_cores, 0);
+  EXPECT_EQ(fell2.xeon_cores, 3);
+
+  // Empty pool is the only case allowed to yield an empty allocation.
+  Allocation empty = clamp_to_pool(want_xeon, CorePool{0, 0});
+  EXPECT_EQ(empty.xeon_cores + empty.atom_cores, 0);
+}
+
+TEST(PlanJobs, RejectsEmptyPool) {
+  Characterizer ch;
+  std::vector<JobRequest> jobs{{wl::WorkloadId::kWordCount, 256 * MB}};
+  EXPECT_THROW(plan_jobs(ch, jobs, CorePool{0, 0}, Goal::edp()), Error);
+}
+
 TEST(PlanJobs, PoolClampsAllocation) {
   Characterizer ch;
   std::vector<JobRequest> jobs{{wl::WorkloadId::kWordCount, 1 * GB}};

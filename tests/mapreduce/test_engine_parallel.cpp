@@ -1,0 +1,171 @@
+// Determinism-under-threads suite: the parallel task executor must be
+// invisible in the engine's output. A JobTrace produced at any
+// exec_threads width has to be bit-identical to the serial one —
+// counters, task order, sink output, saturation flags — because the
+// whole perf/energy overlay (and thus every figure) prices traces.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/engine.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/registry.hpp"
+
+namespace bvl::mr {
+namespace {
+
+JobConfig parallel_config() {
+  JobConfig cfg;
+  cfg.input_size = 8 * MB;
+  cfg.block_size = 1 * MB;  // 8 map tasks
+  cfg.spill_buffer = 512 * KB;
+  cfg.sim_scale = 1.0;
+  return cfg;
+}
+
+void expect_counters_eq(const WorkCounters& a, const WorkCounters& b, const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_DOUBLE_EQ(a.input_records, b.input_records);
+  EXPECT_DOUBLE_EQ(a.input_bytes, b.input_bytes);
+  EXPECT_DOUBLE_EQ(a.output_records, b.output_records);
+  EXPECT_DOUBLE_EQ(a.output_bytes, b.output_bytes);
+  EXPECT_DOUBLE_EQ(a.emits, b.emits);
+  EXPECT_DOUBLE_EQ(a.emit_bytes, b.emit_bytes);
+  EXPECT_DOUBLE_EQ(a.compares, b.compares);
+  EXPECT_DOUBLE_EQ(a.hash_ops, b.hash_ops);
+  EXPECT_DOUBLE_EQ(a.token_ops, b.token_ops);
+  EXPECT_DOUBLE_EQ(a.compute_units, b.compute_units);
+  EXPECT_DOUBLE_EQ(a.spills, b.spills);
+  EXPECT_DOUBLE_EQ(a.spill_bytes, b.spill_bytes);
+  EXPECT_DOUBLE_EQ(a.merge_read_bytes, b.merge_read_bytes);
+  EXPECT_DOUBLE_EQ(a.disk_read_bytes, b.disk_read_bytes);
+  EXPECT_DOUBLE_EQ(a.disk_write_bytes, b.disk_write_bytes);
+  EXPECT_DOUBLE_EQ(a.disk_seeks, b.disk_seeks);
+  EXPECT_DOUBLE_EQ(a.shuffle_bytes, b.shuffle_bytes);
+}
+
+/// Full bitwise trace comparison, excluding the informational
+/// exec_threads_used field (the one thing that legitimately differs).
+void expect_trace_eq(const JobTrace& a, const JobTrace& b) {
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.combiner_saturated, b.combiner_saturated);
+  ASSERT_EQ(a.map_tasks.size(), b.map_tasks.size());
+  ASSERT_EQ(a.reduce_tasks.size(), b.reduce_tasks.size());
+  for (std::size_t i = 0; i < a.map_tasks.size(); ++i) {
+    EXPECT_EQ(a.map_tasks[i].logical_bytes, b.map_tasks[i].logical_bytes);
+    expect_counters_eq(a.map_tasks[i].counters, b.map_tasks[i].counters,
+                       "map task " + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < a.reduce_tasks.size(); ++i) {
+    EXPECT_EQ(a.reduce_tasks[i].logical_bytes, b.reduce_tasks[i].logical_bytes);
+    expect_counters_eq(a.reduce_tasks[i].counters, b.reduce_tasks[i].counters,
+                       "reduce task " + std::to_string(i));
+  }
+  expect_counters_eq(a.setup, b.setup, "setup");
+  expect_counters_eq(a.cleanup, b.cleanup, "cleanup");
+}
+
+TEST(EngineParallel, TraceBitIdenticalToSerialForEveryWorkload) {
+  Engine e;
+  std::vector<wl::WorkloadId> ids = wl::all_workloads();
+  for (auto id : wl::extension_workloads()) ids.push_back(id);
+
+  for (auto id : ids) {
+    SCOPED_TRACE(wl::long_name(id));
+    JobConfig cfg = parallel_config();
+    // Real-world apps execute heavier per-byte work; shrink their
+    // executed volume so the suite stays fast.
+    if (id == wl::WorkloadId::kNaiveBayes || id == wl::WorkloadId::kFpGrowth) cfg.sim_scale = 4.0;
+
+    auto serial_def = wl::make_workload(id);
+    auto parallel_def = wl::make_workload(id);
+
+    std::vector<KV> serial_out, parallel_out;
+    cfg.exec_threads = 1;
+    JobTrace serial = e.run(*serial_def, cfg, [&](const KV& kv) { serial_out.push_back(kv); });
+    cfg.exec_threads = 4;
+    JobTrace parallel =
+        e.run(*parallel_def, cfg, [&](const KV& kv) { parallel_out.push_back(kv); });
+
+    EXPECT_EQ(parallel.exec_threads_used, 4);
+    EXPECT_EQ(serial.exec_threads_used, 1);
+    expect_trace_eq(serial, parallel);
+
+    // Output records stream through the sink in the same order too.
+    ASSERT_EQ(serial_out.size(), parallel_out.size());
+    for (std::size_t i = 0; i < serial_out.size(); ++i) {
+      EXPECT_EQ(serial_out[i].key, parallel_out[i].key);
+      EXPECT_EQ(serial_out[i].value, parallel_out[i].value);
+    }
+  }
+}
+
+TEST(EngineParallel, AutoWidthResolvesToHardwareAndStaysDeterministic) {
+  Engine e;
+  JobConfig cfg = parallel_config();
+  auto a = wl::make_workload(wl::WorkloadId::kWordCount);
+  auto b = wl::make_workload(wl::WorkloadId::kWordCount);
+  cfg.exec_threads = 0;  // auto
+  JobTrace t_auto = e.run(*a, cfg);
+  EXPECT_EQ(t_auto.exec_threads_used, ThreadPool::hardware_threads());
+  cfg.exec_threads = 1;
+  expect_trace_eq(e.run(*b, cfg), t_auto);
+}
+
+// Concurrency stress/property test: thread widths x sim scales for
+// WordCount and TeraSort. At every point the shuffle conserves the
+// emitted volume, the executor wave count obeys ceil(tasks/threads),
+// and the trace matches the serial baseline exactly.
+TEST(EngineParallel, StressWidthsAndScalesHoldInvariants) {
+  Engine e;
+  const std::vector<int> widths = {1, 2, 8, 16};
+  const std::vector<double> scales = {1.0, 64.0};
+
+  for (auto id : {wl::WorkloadId::kWordCount, wl::WorkloadId::kTeraSort}) {
+    for (double scale : scales) {
+      JobConfig cfg;
+      cfg.input_size = 16 * MB;
+      cfg.block_size = 2 * MB;  // 8 map tasks
+      cfg.spill_buffer = 1 * MB;
+      cfg.sim_scale = scale;
+      cfg.use_combiner = false;  // byte-exact conservation through the shuffle
+
+      JobTrace baseline;
+      for (int threads : widths) {
+        SCOPED_TRACE(wl::long_name(id) + " threads=" + std::to_string(threads) +
+                     " scale=" + std::to_string(scale));
+        auto def = wl::make_workload(id);
+        cfg.exec_threads = threads;
+        JobTrace t = e.run(*def, cfg);
+
+        // Record conservation: every emitted map-output byte arrives at
+        // exactly one reducer (counters are rescaled identically on
+        // both sides, so the identity survives sim_scale).
+        double emitted = t.map_total().emit_bytes;
+        double shuffled = t.reduce_total().shuffle_bytes;
+        EXPECT_NEAR(shuffled, emitted, 1e-6 * emitted);
+
+        // Wave invariant: ceil(tasks / threads) executor waves.
+        ASSERT_EQ(t.num_map_tasks(), 8u);
+        EXPECT_EQ(t.exec_threads_used, threads);
+        EXPECT_EQ(t.map_exec_waves(),
+                  (t.num_map_tasks() + static_cast<std::size_t>(threads) - 1) /
+                      static_cast<std::size_t>(threads));
+        EXPECT_EQ(t.reduce_exec_waves(),
+                  (t.num_reduce_tasks() + static_cast<std::size_t>(threads) - 1) /
+                      static_cast<std::size_t>(threads));
+
+        if (threads == widths.front()) {
+          baseline = t;
+        } else {
+          expect_trace_eq(baseline, t);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bvl::mr

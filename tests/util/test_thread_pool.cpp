@@ -1,0 +1,85 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bvl {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  ThreadPool pool(8);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, [&](std::size_t) { sum.fetch_add(1); });
+  pool.parallel_for(7, [&](std::size_t) { sum.fetch_add(1); });
+  EXPECT_EQ(sum.load(), 17);
+}
+
+TEST(ThreadPool, MoreWorkersThanWork) {
+  ThreadPool pool(16);
+  std::atomic<int> sum{0};
+  pool.parallel_for(3, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 3);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "no work expected"; });
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i) {
+                          if (i == 37) throw std::runtime_error("task 37 failed");
+                        }),
+      std::runtime_error);
+  // Error state resets: the pool keeps working afterwards.
+  std::atomic<int> sum{0};
+  pool.parallel_for(5, [&](std::size_t) { sum.fetch_add(1); });
+  EXPECT_EQ(sum.load(), 5);
+}
+
+TEST(ThreadPool, SubmitWaitCollectsResults) {
+  ThreadPool pool(3);
+  std::vector<int> results(6, 0);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    pool.submit([&results, i] { results[i] = static_cast<int>(i) * 2; });
+  }
+  pool.wait();
+  for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], static_cast<int>(i) * 2);
+  EXPECT_THROW(pool.submit(nullptr), Error);
+}
+
+TEST(ThreadPool, ResolveSemantics) {
+  EXPECT_EQ(ThreadPool::resolve(0), ThreadPool::hardware_threads());
+  EXPECT_EQ(ThreadPool::resolve(-3), ThreadPool::hardware_threads());
+  EXPECT_EQ(ThreadPool::resolve(1), 1);
+  EXPECT_EQ(ThreadPool::resolve(12), 12);
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+TEST(ThreadPool, FreeParallelForSerialFallback) {
+  // threads=1 runs inline: exceptions propagate directly and ordering
+  // is the plain loop order.
+  std::vector<std::size_t> order;
+  parallel_for(1, 4, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3}));
+
+  std::atomic<int> sum{0};
+  parallel_for(8, 100, [&](std::size_t) { sum.fetch_add(1); });
+  EXPECT_EQ(sum.load(), 100);
+}
+
+}  // namespace
+}  // namespace bvl
