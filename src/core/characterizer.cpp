@@ -14,7 +14,7 @@ Characterizer::Characterizer(hdfs::DfsConfig dfs, perf::ClusterConfig cluster,
 
 Characterizer::Key Characterizer::key_of(const RunSpec& spec) const {
   return {static_cast<int>(spec.workload), spec.input_size, spec.block_size, spec.num_reducers,
-          spec.use_combiner};
+          spec.use_combiner, spec.fault.active() ? spec.fault.cache_key() : 0};
 }
 
 const mr::JobTrace& Characterizer::trace(const RunSpec& spec) {
@@ -36,6 +36,7 @@ const mr::JobTrace& Characterizer::trace(const RunSpec& spec) {
                                     static_cast<double>(target_exec_));
   cfg.seed = seed_;
   cfg.exec_threads = exec_threads_;
+  cfg.fault = spec.fault;
   mr::JobTrace t = engine_.run(*def, cfg);
 
   // Two threads racing on the same key computed identical traces

@@ -31,6 +31,13 @@ struct RunSpec {
   int mappers = 4;
   int num_reducers = -1;       ///< -1: workload default
   bool use_combiner = true;
+
+  /// Fault/recovery plan the engine runs under (mapreduce/fault.hpp).
+  /// Default-inactive. An active plan makes every priced surface —
+  /// and thus schedule_measured's ED^xP argmin — straggler-aware:
+  /// wasted attempts, wave stretch and backoff are charged on either
+  /// server.
+  mr::FaultPlan fault;
 };
 
 class Characterizer {
@@ -64,7 +71,7 @@ class Characterizer {
   const perf::ClusterConfig& cluster_config() const { return cluster_; }
 
  private:
-  using Key = std::tuple<int, Bytes, Bytes, int, bool>;
+  using Key = std::tuple<int, Bytes, Bytes, int, bool, std::uint64_t>;
   Key key_of(const RunSpec& spec) const;
 
   hdfs::DfsConfig dfs_;

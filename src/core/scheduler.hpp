@@ -47,8 +47,19 @@ struct Allocation {
 Allocation schedule_by_class(AppClass cls, const Goal& goal);
 
 /// Data-driven policy: sweeps both servers' core counts for `spec`
-/// and allocates the argmin of the goal metric.
+/// and allocates the argmin of the goal metric. The spec's FaultPlan
+/// is honored, so a degraded spec yields a straggler-aware decision.
 Allocation schedule_measured(Characterizer& ch, const RunSpec& spec, const Goal& goal);
+
+/// Straggler-aware variant for degraded clusters: injects a seeded
+/// background straggler process (probability / progress-rate divisor)
+/// into `spec` and schedules under the degraded ED^xP surface.
+/// Low-power nodes see more stragglers than big-core servers, and the
+/// stretch they add is CPU time — so fault pressure shifts the
+/// big-vs-little argmin on compute-bound apps, which is exactly what
+/// this entry point lets callers reason about.
+Allocation schedule_measured_degraded(Characterizer& ch, RunSpec spec, double straggler_prob,
+                                      double straggler_factor, const Goal& goal);
 
 /// Available heterogeneous pool (X Xeon + Y Atom cores).
 struct CorePool {

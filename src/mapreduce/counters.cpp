@@ -49,4 +49,27 @@ WorkCounters WorkCounters::scaled(double s, double log_adjust, bool combiner_sat
   return c;
 }
 
+WorkCounters WorkCounters::scaled_uniform(double f) const {
+  require(f >= 0, "WorkCounters::scaled_uniform: negative factor");
+  WorkCounters c = *this;
+  c.input_records *= f;
+  c.input_bytes *= f;
+  c.output_records *= f;
+  c.output_bytes *= f;
+  c.emits *= f;
+  c.emit_bytes *= f;
+  c.compares *= f;
+  c.hash_ops *= f;
+  c.token_ops *= f;
+  c.compute_units *= f;
+  c.spills *= f;
+  c.spill_bytes *= f;
+  c.merge_read_bytes *= f;
+  c.disk_read_bytes *= f;
+  c.disk_write_bytes *= f;
+  c.disk_seeks *= f;
+  c.shuffle_bytes *= f;
+  return c;
+}
+
 }  // namespace bvl::mr

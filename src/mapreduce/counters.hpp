@@ -50,6 +50,11 @@ struct WorkCounters {
   /// vocabulary regardless of corpus size).
   WorkCounters scaled(double s, double log_adjust, bool combiner_saturated = false) const;
 
+  /// Multiplies every field by `f` uniformly. Used for wasted-attempt
+  /// accounting: a task attempt killed at progress fraction f did f of
+  /// everything the committed attempt did, structural counts included.
+  WorkCounters scaled_uniform(double f) const;
+
   /// Total bytes hitting the storage device (reads + writes + spill
   /// traffic).
   double total_disk_bytes() const {

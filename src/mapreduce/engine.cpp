@@ -47,6 +47,18 @@ JobTrace Engine::run(JobDefinition& def, const JobConfig& cfg,
   trace.workload = def.name();
   trace.config = cfg;
 
+  // Fault machinery (mapreduce/fault.hpp). An inactive plan (the
+  // default) keeps every fault branch below dead: each task runs its
+  // single attempt exactly as before and all TaskTrace fault fields
+  // stay at their neutral defaults, so the trace is bit-identical to
+  // the pre-fault engine (tests/golden enforces this). With an active
+  // plan, failed attempts really re-execute the task — the work is
+  // done and discarded, like a died Hadoop attempt — and the committed
+  // attempt is the final execution (identical output by task
+  // determinism, which is also what makes speculation safe).
+  const FaultSchedule fsched(cfg.fault);
+  const bool faults = fsched.active();
+
   // Executor pool, created lazily on the first multi-task phase and
   // shared by the map and reduce waves. Tasks are pure functions of
   // their index (the JobDefinition is only read), so executing them
@@ -100,13 +112,22 @@ JobTrace Engine::run(JobDefinition& def, const JobConfig& cfg,
   // in block order so counters, sink calls and saturation flags are
   // merged deterministically.
   std::vector<MapTaskResult> map_results(blocks.size());
+  std::vector<TaskFaultLog> map_logs(blocks.size());
   run_tasks(blocks.size(), [&](std::size_t i) {
     const auto& blk = blocks[i];
     Bytes exec_bytes = std::max<Bytes>(
         kMinExecSplit, static_cast<Bytes>(static_cast<double>(blk.length) / cfg.sim_scale));
-    map_results[i] = run_map_task(def, blk.id, exec_bytes, exec_buffer, cfg.use_combiner,
-                                  task_seed(cfg.seed, blk.id));
+    // Bounded retry: walk the attempt outcomes (throws when the
+    // budget is exhausted), then execute one real run per attempt on
+    // the same split/seed — earlier runs are the died attempts' wasted
+    // work, the last one is committed.
+    if (faults) map_logs[i] = fsched.run_attempts(TaskPhase::kMap, i);
+    for (int a = 0; a < map_logs[i].attempts; ++a) {
+      map_results[i] = run_map_task(def, blk.id, exec_bytes, exec_buffer, cfg.use_combiner,
+                                    task_seed(cfg.seed, blk.id));
+    }
   });
+  if (faults) fsched.resolve_speculation(TaskPhase::kMap, map_logs);
 
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     const auto& blk = blocks[i];
@@ -145,6 +166,12 @@ JobTrace Engine::run(JobDefinition& def, const JobConfig& cfg,
     TaskTrace t;
     t.counters = r.counters.scaled(task_scale, log_adj, saturated);
     t.logical_bytes = blk.length;
+    const TaskFaultLog& fl = map_logs[i];
+    t.attempts = fl.attempts;
+    t.speculated = fl.speculated;
+    t.backoff_s = fl.backoff_s;
+    t.time_factor = fl.time_factor;
+    if (fl.wasted_fraction > 0) t.wasted = t.counters.scaled_uniform(fl.wasted_fraction);
     trace.map_tasks.push_back(std::move(t));
     if (!map_only) map_outputs.push_back(std::move(r.output));
   }
@@ -174,9 +201,19 @@ JobTrace Engine::run(JobDefinition& def, const JobConfig& cfg,
     // Reduce tasks are independent once the segments are routed; run
     // them on the same pool, then commit results in partition order.
     std::vector<ReduceTaskResult> reduce_results(static_cast<std::size_t>(reducers));
+    std::vector<TaskFaultLog> reduce_logs(static_cast<std::size_t>(reducers));
     run_tasks(static_cast<std::size_t>(reducers), [&](std::size_t r) {
+      if (faults) reduce_logs[r] = fsched.run_attempts(TaskPhase::kReduce, r);
+      // Non-final attempts re-fetch a copy of the shuffled segments
+      // (a restarted reducer re-pulls its map outputs); the committed
+      // attempt consumes them.
+      for (int a = 0; a + 1 < reduce_logs[r].attempts; ++a) {
+        auto refetched = segments[r];
+        reduce_results[r] = run_reduce_task(def, std::move(refetched));
+      }
       reduce_results[r] = run_reduce_task(def, std::move(segments[r]));
     });
+    if (faults) fsched.resolve_speculation(TaskPhase::kReduce, reduce_logs);
 
     for (int r = 0; r < reducers; ++r) {
       ReduceTaskResult& res = reduce_results[static_cast<std::size_t>(r)];
@@ -185,6 +222,12 @@ JobTrace Engine::run(JobDefinition& def, const JobConfig& cfg,
       TaskTrace t;
       t.counters = res.counters.scaled(reduce_scale, reduce_adj);
       t.logical_bytes = static_cast<Bytes>(t.counters.shuffle_bytes);
+      const TaskFaultLog& fl = reduce_logs[static_cast<std::size_t>(r)];
+      t.attempts = fl.attempts;
+      t.speculated = fl.speculated;
+      t.backoff_s = fl.backoff_s;
+      t.time_factor = fl.time_factor;
+      if (fl.wasted_fraction > 0) t.wasted = t.counters.scaled_uniform(fl.wasted_fraction);
       trace.reduce_tasks.push_back(std::move(t));
     }
   }

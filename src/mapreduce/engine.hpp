@@ -17,6 +17,17 @@
 // engine merges results into the trace serially in task-index order,
 // so the JobTrace is bit-identical regardless of thread count
 // (verified by tests/mapreduce/test_engine_parallel.cpp).
+//
+// Fault tolerance: JobConfig::fault carries a deterministic FaultPlan
+// (mapreduce/fault.hpp). Failed attempts re-execute the task on the
+// same split with bounded retry + exponential backoff; stragglers get
+// a Hadoop-style speculative backup (first finisher wins, the loser's
+// partial work is charged as waste). Per-attempt accounting lands in
+// TaskTrace (attempts, wasted, backoff_s, time_factor) for the perf
+// overlay to price. Because tasks are deterministic, the final job
+// output of a faulty run is byte-identical to the fault-free run, and
+// an inactive plan leaves the trace bit-identical to the committed
+// golden fixtures (tests/golden).
 #pragma once
 
 #include <functional>

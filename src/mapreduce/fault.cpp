@@ -1,0 +1,195 @@
+#include "mapreduce/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace bvl::mr {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// SplitMix64-style hash of the attempt coordinates into [0, 1).
+double hash01(std::uint64_t seed, TaskPhase phase, std::size_t task, int attempt,
+              std::uint64_t salt) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (salt + 1);
+  z = mix64(z + (phase == TaskPhase::kMap ? 0x6d61ULL : 0x7265ULL));
+  z = mix64(z + static_cast<std::uint64_t>(task) * 0xd1342543de82ef95ULL);
+  z = mix64(z + static_cast<std::uint64_t>(attempt) + 1);
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t mix_bits(std::uint64_t h, std::uint64_t v) { return mix64(h ^ v); }
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t b;
+  static_assert(sizeof(b) == sizeof(d));
+  __builtin_memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+}  // namespace
+
+std::uint64_t FaultPlan::cache_key() const {
+  std::uint64_t h = mix64(seed + 0x9e3779b97f4a7c15ULL);
+  h = mix_bits(h, double_bits(fail_prob));
+  h = mix_bits(h, double_bits(straggler_prob));
+  h = mix_bits(h, double_bits(straggler_factor));
+  h = mix_bits(h, static_cast<std::uint64_t>(max_attempts));
+  h = mix_bits(h, double_bits(backoff_base_s));
+  h = mix_bits(h, speculative ? 1 : 0);
+  h = mix_bits(h, double_bits(speculative_threshold));
+  h = mix_bits(h, static_cast<std::uint64_t>(nodes));
+  for (const auto& e : events) {
+    h = mix_bits(h, static_cast<std::uint64_t>(e.kind));
+    h = mix_bits(h, static_cast<std::uint64_t>(e.phase));
+    h = mix_bits(h, static_cast<std::uint64_t>(e.task));
+    h = mix_bits(h, static_cast<std::uint64_t>(e.attempt));
+    h = mix_bits(h, double_bits(e.fraction));
+    h = mix_bits(h, double_bits(e.factor));
+    h = mix_bits(h, static_cast<std::uint64_t>(e.node));
+  }
+  return h;
+}
+
+FaultSchedule::FaultSchedule(const FaultPlan& plan) : plan_(plan) {
+  require(plan_.max_attempts >= 1, "FaultPlan: max_attempts must be >= 1");
+  require(plan_.fail_prob >= 0 && plan_.fail_prob < 1, "FaultPlan: fail_prob must be in [0, 1)");
+  require(plan_.straggler_prob >= 0 && plan_.straggler_prob < 1,
+          "FaultPlan: straggler_prob must be in [0, 1)");
+  require(plan_.straggler_factor >= 1, "FaultPlan: straggler_factor must be >= 1");
+  require(plan_.backoff_base_s >= 0, "FaultPlan: negative backoff");
+  require(plan_.speculative_threshold >= 1, "FaultPlan: speculative_threshold must be >= 1");
+  require(plan_.nodes >= 1, "FaultPlan: nodes must be >= 1");
+  for (const auto& e : plan_.events) {
+    require(e.attempt >= 0, "FaultEvent: negative attempt");
+    require(e.fraction > 0 && e.fraction < 1, "FaultEvent: fraction must be in (0, 1)");
+    require(e.factor >= 1, "FaultEvent: factor must be >= 1");
+    require(e.node >= 0 && e.node < plan_.nodes, "FaultEvent: node outside the cluster");
+  }
+}
+
+AttemptOutcome FaultSchedule::outcome(TaskPhase phase, std::size_t task, int attempt) const {
+  AttemptOutcome o;
+  if (!plan_.active()) return o;
+
+  // Targeted events first — they override the background process.
+  for (const auto& e : plan_.events) {
+    if (e.phase != phase || e.attempt != attempt) continue;
+    switch (e.kind) {
+      case FaultKind::kFail:
+        if (e.task == task) {
+          o.failed = true;
+          o.fail_fraction = e.fraction;
+          return o;
+        }
+        break;
+      case FaultKind::kSlowdown:
+        if (e.task == task) {
+          o.slowdown = e.factor;
+          return o;
+        }
+        break;
+      case FaultKind::kNodeLoss:
+        if (static_cast<int>(task % static_cast<std::size_t>(plan_.nodes)) == e.node) {
+          o.failed = true;
+          o.fail_fraction = e.fraction;
+          return o;
+        }
+        break;
+    }
+  }
+
+  // Background process: one uniform draw decides fail vs straggler vs
+  // clean, a second one places the failure point.
+  double u = hash01(plan_.seed, phase, task, attempt, /*salt=*/0x5fa17);
+  if (u < plan_.fail_prob) {
+    o.failed = true;
+    o.fail_fraction =
+        std::clamp(hash01(plan_.seed, phase, task, attempt, /*salt=*/0xf7ac), 0.05, 0.95);
+  } else if (u < plan_.fail_prob + plan_.straggler_prob) {
+    o.slowdown = plan_.straggler_factor;
+  }
+  return o;
+}
+
+double FaultSchedule::backoff_s(int failures) const {
+  require(failures >= 1, "FaultSchedule::backoff_s: failures must be >= 1");
+  return plan_.backoff_base_s * std::pow(2.0, failures - 1);
+}
+
+TaskFaultLog FaultSchedule::run_attempts(TaskPhase phase, std::size_t task) const {
+  TaskFaultLog log;
+  if (!plan_.active()) return log;
+  for (int a = 0;; ++a) {
+    AttemptOutcome o = outcome(phase, task, a);
+    if (!o.failed) {
+      log.attempts = a + 1;
+      log.slowdown = o.slowdown;
+      log.time_factor = log.wasted_fraction + o.slowdown;
+      return log;
+    }
+    log.wasted_fraction += o.fail_fraction;
+    if (a + 1 >= plan_.max_attempts) {
+      throw Error("fault: " + std::string(phase == TaskPhase::kMap ? "map" : "reduce") + " task " +
+                  std::to_string(task) + " exhausted " + std::to_string(plan_.max_attempts) +
+                  " attempts");
+    }
+    log.backoff_s += backoff_s(a + 1);
+  }
+}
+
+void FaultSchedule::resolve_speculation(TaskPhase phase, std::vector<TaskFaultLog>& logs) const {
+  if (!plan_.active() || !plan_.speculative || logs.empty()) return;
+
+  // Wave-median progress rate: the detector Hadoop's speculator
+  // approximates (a task is speculatable when its progress rate falls
+  // well behind its peers').
+  std::vector<double> rates;
+  rates.reserve(logs.size());
+  for (const auto& l : logs) rates.push_back(l.slowdown);
+  std::nth_element(rates.begin(), rates.begin() + rates.size() / 2, rates.end());
+  double median = rates[rates.size() / 2];
+
+  for (std::size_t i = 0; i < logs.size(); ++i) {
+    TaskFaultLog& log = logs[i];
+    if (log.slowdown <= plan_.speculative_threshold * median) continue;
+    if (log.attempts >= plan_.max_attempts) continue;  // attempt budget spent on retries
+
+    // The backup launches when a median-rate task finishes its work
+    // (that is when the straggler's lag becomes observable), and is
+    // itself subject to the plan: its outcome is the task's next
+    // attempt.
+    double launch = std::max(1.0, median);
+    if (launch >= log.slowdown) continue;  // original finishes first anyway
+    AttemptOutcome backup = outcome(phase, i, log.attempts);
+    log.speculated = true;
+    ++log.attempts;
+
+    double prefix = log.time_factor - log.slowdown;  // retries before the committed attempt
+    if (backup.failed) {
+      // Backup dies; the original straggler runs to completion.
+      log.wasted_fraction += backup.fail_fraction;
+      continue;
+    }
+    double backup_finish = launch + backup.slowdown;
+    if (backup_finish < log.slowdown) {
+      // Backup wins: kill the original, discard its partial output.
+      log.wasted_fraction += backup_finish / log.slowdown;
+      log.time_factor = prefix + backup_finish;
+    } else {
+      // Original wins: kill the backup at its progress so far.
+      log.wasted_fraction += (log.slowdown - launch) / backup.slowdown;
+      log.time_factor = prefix + log.slowdown;
+    }
+  }
+}
+
+}  // namespace bvl::mr

@@ -1,0 +1,132 @@
+// Fault model for the MapReduce engine (Hadoop 2.x semantics).
+//
+// A FaultPlan describes a *deterministic* fault process: targeted
+// events (fail this attempt of that task, slow that task down, lose a
+// node) plus a seeded background process that strikes task attempts
+// with configured probabilities. The outcome of every
+// (phase, task, attempt) triple is a pure function of the plan, so a
+// faulty run is exactly reproducible — same plan + same job seed ⇒
+// identical JobTrace at every exec_threads width.
+//
+// Recovery mirrors Hadoop's machinery:
+//  * bounded retry — a failed attempt is re-executed on the same
+//    split (same task seed, hence identical output) after an
+//    exponential backoff wait, up to max_attempts; exhausting the
+//    budget fails the job (bvl::Error), as mapreduce.map.maxattempts
+//    does;
+//  * speculative execution — when a task's committed attempt
+//    progresses slower than speculative_threshold × the wave median
+//    rate, a backup attempt is launched the moment a median task
+//    finishes; the first finisher wins, the loser is killed and its
+//    partial work is charged as waste (TaskTrace::wasted).
+//
+// An inactive plan (no events, zero probabilities — the default) is
+// guaranteed to leave the engine's output bit-identical to a build
+// without this layer; tests/golden enforces that invariant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bvl::mr {
+
+enum class TaskPhase { kMap, kReduce };
+
+enum class FaultKind {
+  kFail,      ///< the attempt dies after reaching `fraction` progress
+  kSlowdown,  ///< the attempt survives at 1/`factor` progress rate
+  kNodeLoss,  ///< every task of `phase` placed on `node` loses `attempt`
+};
+
+/// One targeted injected event.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kFail;
+  TaskPhase phase = TaskPhase::kMap;
+  std::size_t task = 0;   ///< task index within the phase (kFail/kSlowdown)
+  int attempt = 0;        ///< attempt the event strikes (0-based)
+  double fraction = 0.5;  ///< kFail/kNodeLoss: progress reached when the attempt dies
+  double factor = 4.0;    ///< kSlowdown: progress-rate divisor (>= 1)
+  int node = 0;           ///< kNodeLoss: victim node (tasks map to node = task % nodes)
+};
+
+/// The full fault/recovery configuration carried by JobConfig.
+struct FaultPlan {
+  // Background fault process, hashed per (phase, task, attempt).
+  std::uint64_t seed = 0;
+  double fail_prob = 0.0;        ///< per-attempt failure probability
+  double straggler_prob = 0.0;   ///< per-attempt slowdown probability
+  double straggler_factor = 4.0; ///< rate divisor of a background straggler
+
+  // Targeted events, applied before the background process.
+  std::vector<FaultEvent> events;
+
+  // Recovery policy (Hadoop defaults).
+  int max_attempts = 4;          ///< mapreduce.{map,reduce}.maxattempts
+  double backoff_base_s = 1.0;   ///< retry after failure #k waits backoff_base * 2^k
+  bool speculative = true;       ///< mapreduce.{map,reduce}.speculative
+  double speculative_threshold = 1.5;  ///< backup when slowdown > threshold * wave median
+  int nodes = 3;                 ///< cluster size for the kNodeLoss task->node mapping
+
+  /// True when the plan can perturb an execution at all. Inactive
+  /// plans take the engine's fault-free fast path.
+  bool active() const { return fail_prob > 0 || straggler_prob > 0 || !events.empty(); }
+
+  /// Stable digest of every semantically relevant field, for trace
+  /// cache keys (core::Characterizer).
+  std::uint64_t cache_key() const;
+};
+
+/// Outcome of one task attempt under a plan.
+struct AttemptOutcome {
+  bool failed = false;
+  double fail_fraction = 0.0;  ///< progress reached when the attempt died
+  double slowdown = 1.0;       ///< surviving attempt's progress-rate divisor
+};
+
+/// Per-task recovery bookkeeping, accumulated by the engine's attempt
+/// loop and finalized by resolve_speculation(). Times are in units of
+/// one nominal attempt duration except backoff_s (model seconds).
+struct TaskFaultLog {
+  int attempts = 1;            ///< attempts consumed (committed + failed + backups)
+  double wasted_fraction = 0;  ///< failed/killed attempt work, in full-attempt units
+  double backoff_s = 0;        ///< cumulative retry backoff wait
+  double slowdown = 1.0;       ///< committed attempt's progress-rate divisor
+  double time_factor = 1.0;    ///< task completion time vs nominal (excl. backoff)
+  bool speculated = false;     ///< a backup attempt was launched
+};
+
+/// Deterministic oracle over a FaultPlan.
+class FaultSchedule {
+ public:
+  explicit FaultSchedule(const FaultPlan& plan);
+
+  bool active() const { return plan_.active(); }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Pure function of (plan, phase, task, attempt).
+  AttemptOutcome outcome(TaskPhase phase, std::size_t task, int attempt) const;
+
+  /// Backoff wait before re-dispatching after failure number
+  /// `failures` (1-based): backoff_base * 2^(failures-1).
+  double backoff_s(int failures) const;
+
+  /// Runs the bounded-retry state machine for one task: walks the
+  /// attempt outcomes, accumulating waste/backoff, and returns the log
+  /// positioned at the committed (surviving) attempt. Throws
+  /// bvl::Error when max_attempts is exhausted.
+  TaskFaultLog run_attempts(TaskPhase phase, std::size_t task) const;
+
+  /// Hadoop-style speculation pass over one phase's logs: computes the
+  /// wave-median progress rate, launches a backup for each straggler
+  /// whose committed attempt is more than speculative_threshold times
+  /// slower, and commits the first finisher; the loser's partial work
+  /// is added to wasted_fraction. Inactive plans (and plans with
+  /// speculative=false) leave the logs untouched.
+  void resolve_speculation(TaskPhase phase, std::vector<TaskFaultLog>& logs) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace bvl::mr

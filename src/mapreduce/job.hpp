@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "mapreduce/fault.hpp"
 #include "util/units.hpp"
 
 namespace bvl::mr {
@@ -45,6 +46,12 @@ struct JobConfig {
   /// emitted JobTrace is bit-identical for every value (verified by
   /// tests/mapreduce/test_engine_parallel.cpp).
   int exec_threads = 0;
+
+  /// Fault-injection plan plus retry/speculation policy (see
+  /// mapreduce/fault.hpp). The default plan is inactive: the engine
+  /// takes its fault-free path and the trace is bit-identical to a
+  /// build without the fault layer (tests/golden enforces this).
+  FaultPlan fault;
 
   std::uint64_t seed = 42;
 };

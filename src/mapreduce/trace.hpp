@@ -15,8 +15,17 @@
 namespace bvl::mr {
 
 struct TaskTrace {
-  WorkCounters counters;    ///< logical-scale counters
+  WorkCounters counters;    ///< logical-scale counters (committed attempt)
   Bytes logical_bytes = 0;  ///< logical input bytes this task covered
+
+  // Fault-recovery accounting (mapreduce/fault.hpp). All fields stay
+  // at their neutral defaults on a fault-free run, so an inactive
+  // FaultPlan leaves the trace bit-identical to the pre-fault engine.
+  int attempts = 1;          ///< attempts consumed (committed + failed + backups)
+  bool speculated = false;   ///< a speculative backup attempt was launched
+  WorkCounters wasted;       ///< logical-scale work of failed/killed attempts
+  double backoff_s = 0;      ///< retry backoff wait (model seconds)
+  double time_factor = 1.0;  ///< completion time vs a fault-free attempt
 };
 
 struct JobTrace {
@@ -48,6 +57,12 @@ struct JobTrace {
   WorkCounters map_total() const;
   WorkCounters reduce_total() const;
   WorkCounters job_total() const;
+
+  // Fault-recovery aggregates (all zero/neutral on a fault-free run).
+  int total_attempts() const;         ///< Σ attempts over map + reduce tasks
+  int speculative_backups() const;    ///< tasks that launched a backup
+  double total_backoff_s() const;     ///< Σ retry backoff waits
+  WorkCounters wasted_total() const;  ///< Σ wasted work over all tasks
 };
 
 }  // namespace bvl::mr

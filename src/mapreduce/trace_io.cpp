@@ -1,0 +1,106 @@
+#include "mapreduce/trace_io.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace bvl::mr {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void put(std::ostringstream& out, const std::string& name, const std::string& v) {
+  out << name << " = " << v << "\n";
+}
+
+void put(std::ostringstream& out, const std::string& name, double v) { put(out, name, fmt(v)); }
+
+void put(std::ostringstream& out, const std::string& name, std::uint64_t v) {
+  put(out, name, std::to_string(v));
+}
+
+void put(std::ostringstream& out, const std::string& name, int v) {
+  put(out, name, std::to_string(v));
+}
+
+void put(std::ostringstream& out, const std::string& name, bool v) {
+  put(out, name, std::string(v ? "1" : "0"));
+}
+
+void put_counters(std::ostringstream& out, const std::string& prefix, const WorkCounters& c) {
+  put(out, prefix + ".input_records", c.input_records);
+  put(out, prefix + ".input_bytes", c.input_bytes);
+  put(out, prefix + ".output_records", c.output_records);
+  put(out, prefix + ".output_bytes", c.output_bytes);
+  put(out, prefix + ".emits", c.emits);
+  put(out, prefix + ".emit_bytes", c.emit_bytes);
+  put(out, prefix + ".compares", c.compares);
+  put(out, prefix + ".hash_ops", c.hash_ops);
+  put(out, prefix + ".token_ops", c.token_ops);
+  put(out, prefix + ".compute_units", c.compute_units);
+  put(out, prefix + ".spills", c.spills);
+  put(out, prefix + ".spill_bytes", c.spill_bytes);
+  put(out, prefix + ".merge_read_bytes", c.merge_read_bytes);
+  put(out, prefix + ".disk_read_bytes", c.disk_read_bytes);
+  put(out, prefix + ".disk_write_bytes", c.disk_write_bytes);
+  put(out, prefix + ".disk_seeks", c.disk_seeks);
+  put(out, prefix + ".shuffle_bytes", c.shuffle_bytes);
+}
+
+void put_task(std::ostringstream& out, const std::string& prefix, const TaskTrace& t) {
+  put(out, prefix + ".logical_bytes", static_cast<std::uint64_t>(t.logical_bytes));
+  put(out, prefix + ".attempts", t.attempts);
+  put(out, prefix + ".speculated", t.speculated);
+  put(out, prefix + ".backoff_s", t.backoff_s);
+  put(out, prefix + ".time_factor", t.time_factor);
+  put_counters(out, prefix + ".counters", t.counters);
+  put_counters(out, prefix + ".wasted", t.wasted);
+}
+
+}  // namespace
+
+std::string to_text(const JobTrace& trace) {
+  std::ostringstream out;
+  put(out, "workload", trace.workload);
+  put(out, "config.input_size", static_cast<std::uint64_t>(trace.config.input_size));
+  put(out, "config.block_size", static_cast<std::uint64_t>(trace.config.block_size));
+  put(out, "config.num_reducers", trace.config.num_reducers);
+  put(out, "config.spill_buffer", static_cast<std::uint64_t>(trace.config.spill_buffer));
+  put(out, "config.use_combiner", trace.config.use_combiner);
+  put(out, "config.compress_map_output", trace.config.compress_map_output);
+  put(out, "config.compression_ratio", trace.config.compression_ratio);
+  put(out, "config.sim_scale", trace.config.sim_scale);
+  put(out, "config.seed", trace.config.seed);
+  put(out, "combiner_saturated", trace.combiner_saturated);
+  put(out, "map_tasks", static_cast<std::uint64_t>(trace.map_tasks.size()));
+  put(out, "reduce_tasks", static_cast<std::uint64_t>(trace.reduce_tasks.size()));
+  for (std::size_t i = 0; i < trace.map_tasks.size(); ++i) {
+    put_task(out, "map[" + std::to_string(i) + "]", trace.map_tasks[i]);
+  }
+  for (std::size_t i = 0; i < trace.reduce_tasks.size(); ++i) {
+    put_task(out, "reduce[" + std::to_string(i) + "]", trace.reduce_tasks[i]);
+  }
+  put_counters(out, "setup", trace.setup);
+  put_counters(out, "cleanup", trace.cleanup);
+  return out.str();
+}
+
+std::string first_divergence(const std::string& expected, const std::string& actual) {
+  std::istringstream e(expected), a(actual);
+  std::string el, al;
+  for (std::size_t line = 1;; ++line) {
+    bool have_e = static_cast<bool>(std::getline(e, el));
+    bool have_a = static_cast<bool>(std::getline(a, al));
+    if (!have_e && !have_a) return "";
+    if (!have_e) return "line " + std::to_string(line) + ": expected <end of trace> got '" + al + "'";
+    if (!have_a) return "line " + std::to_string(line) + ": expected '" + el + "' got <end of trace>";
+    if (el != al) return "line " + std::to_string(line) + ": expected '" + el + "' got '" + al + "'";
+  }
+}
+
+}  // namespace bvl::mr

@@ -1,0 +1,28 @@
+// Canonical JobTrace text serialization, the format of the committed
+// golden fixtures under tests/golden/.
+//
+// One `name = value` line per field, in a fixed order; doubles are
+// printed with %.17g so every IEEE-754 value round-trips exactly — a
+// byte-equal serialization means a bit-identical trace. The golden
+// regression suite diffs live serializations against the fixtures
+// line by line (first_divergence) to guard the invariant that a
+// fault-free engine run never drifts.
+#pragma once
+
+#include <string>
+
+#include "mapreduce/trace.hpp"
+
+namespace bvl::mr {
+
+/// Serializes `trace` to the canonical line format. Excludes
+/// exec_threads_used (informational; legitimately varies) and the
+/// FaultPlan (input, not output — its effects are in the task fields).
+std::string to_text(const JobTrace& trace);
+
+/// Compares two serializations line by line; returns an empty string
+/// when equal, otherwise a human-readable description of the first
+/// differing line ("line N: expected '...' got '...'").
+std::string first_divergence(const std::string& expected, const std::string& actual);
+
+}  // namespace bvl::mr

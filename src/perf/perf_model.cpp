@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -54,6 +55,11 @@ struct PerfModel::PhaseWork {
   double mem_refs_per_inst = 0.35;
   double locality_theta = 0.8;
   Seconds fixed_s = 0;  ///< unconditional wall time (job setup etc.)
+
+  // Fault accounting (empty/zero on fault-free traces).
+  std::vector<double> time_factors;  ///< per-task completion-time multiplier
+  double wasted_inst = 0;            ///< instructions of failed/killed attempts
+  Seconds backoff_s = 0;             ///< total retry backoff wait across tasks
 };
 
 PerfModel::PerfModel(arch::ServerConfig server, hdfs::DfsConfig dfs, ClusterConfig cluster)
@@ -80,6 +86,23 @@ PhaseResult PerfModel::price_phase(const PhaseWork& w, Hertz freq, int slots) co
                      ? std::ceil(static_cast<double>(w.ntasks) / static_cast<double>(active))
                      : 0.0;
 
+  // A wave lasts as long as its slowest task: with per-task fault
+  // time factors, the per-wave CPU multiplier is the sum over waves
+  // (index-order assignment, `active` tasks each) of the wave's max
+  // factor. All-ones factors reduce to exactly `waves`.
+  double wave_stretch = waves;
+  if (!w.time_factors.empty()) {
+    require(static_cast<int>(w.time_factors.size()) == w.ntasks,
+            "PerfModel: time_factors/ntasks mismatch");
+    wave_stretch = 0;
+    for (std::size_t b = 0; b < w.time_factors.size(); b += static_cast<std::size_t>(active)) {
+      std::size_t e = std::min(w.time_factors.size(), b + static_cast<std::size_t>(active));
+      double slowest = 0;
+      for (std::size_t i = b; i < e; ++i) slowest = std::max(slowest, w.time_factors[i]);
+      wave_stretch += slowest;
+    }
+  }
+
   // CPU component: waves of parallel tasks plus launch overhead.
   Seconds cpu = 0;
   double ipc = 1.0;
@@ -87,7 +110,7 @@ PhaseResult PerfModel::price_phase(const PhaseWork& w, Hertz freq, int slots) co
     double mean_inst = w.total_inst / static_cast<double>(w.ntasks);
     arch::CpiBreakdown cpi = core_model_.cpi(*w.sig, w.ws_bytes, freq, active);
     ipc = cpi.ipc();
-    cpu = waves * (mean_inst * cpi.total() / freq);
+    cpu = wave_stretch * (mean_inst * cpi.total() / freq);
   } else if (w.total_inst > 0) {
     arch::CpiBreakdown cpi = core_model_.cpi(*w.sig, w.ws_bytes, freq, 1);
     ipc = cpi.ipc();
@@ -122,7 +145,8 @@ PhaseResult PerfModel::price_phase(const PhaseWork& w, Hertz freq, int slots) co
     // lines, plus the I/O path is DMA through memory.
     double llc_miss =
         w.sig ? core_model_.caches().llc_miss_ratio(w.ws_bytes, w.locality_theta, active) : 0.05;
-    double dram_bytes = w.total_inst * w.mem_refs_per_inst * llc_miss * 64.0 + w.device_bytes;
+    double dram_bytes =
+        (w.total_inst + w.wasted_inst) * w.mem_refs_per_inst * llc_miss * 64.0 + w.device_bytes;
     power::SystemLoad load;
     load.active_cores = w.ntasks > 0 ? active : 1;
     load.avg_ipc = ipc;
@@ -130,6 +154,14 @@ PhaseResult PerfModel::price_phase(const PhaseWork& w, Hertz freq, int slots) co
     load.disk_duty = std::clamp(io / r.time, 0.0, 1.0);
     r.dynamic_power = power_.dynamic_power(load, freq);
     r.energy = r.dynamic_power * r.time;
+  }
+
+  // Retry backoff: waiting slots add wall-clock (amortized over the
+  // active slots) but no dynamic energy — the paper's idle-subtracted
+  // power methodology measures an idle cluster as zero.
+  if (w.backoff_s > 0) {
+    r.time += w.backoff_s / static_cast<double>(active);
+    if (r.time > 0) r.dynamic_power = r.energy / r.time;
   }
   return r;
 }
@@ -192,6 +224,19 @@ RunResult PerfModel::price(const mr::JobTrace& trace, Hertz freq, int slots) con
       w.seeks += c.disk_seeks;
       w.total_inst += instructions_for(c, cal.map_costs, storage_, device);
       if (compress) w.total_inst += kCodecInstPerByte * (c.spill_bytes + c.merge_read_bytes);
+
+      // Fault recovery: stragglers stretch their wave, failed/killed
+      // attempts burn instructions and disk volume, retries wait out
+      // their backoff.
+      w.time_factors.push_back(t.time_factor);
+      w.backoff_s += t.backoff_s;
+      if (t.attempts > 1) {
+        double wdev = (t.wasted.spill_bytes + t.wasted.merge_read_bytes) * cf +
+                      (map_only ? t.wasted.disk_write_bytes : t.wasted.disk_write_bytes * cf) +
+                      t.wasted.disk_read_bytes * read_miss;
+        w.device_bytes += wdev;
+        w.wasted_inst += instructions_for(t.wasted, cal.map_costs, storage_, wdev);
+      }
       // Resident map state = one post-combine spill run (the live
       // buffer region), not the raw emit stream: WordCount's combine
       // table is tiny while Sort's buffer is the full spill size.
@@ -232,6 +277,19 @@ RunResult PerfModel::price(const mr::JobTrace& trace, Hertz freq, int slots) con
                                              static_cast<double>(cluster_.nodes));
       w.total_inst += instructions_for(c, cal.reduce_costs, storage_, device);
       if (compress) w.total_inst += kCodecInstPerByte * c.shuffle_bytes;
+
+      w.time_factors.push_back(t.time_factor);
+      w.backoff_s += t.backoff_s;
+      if (t.attempts > 1) {
+        // A restarted reducer re-pulls its map outputs: wasted shuffle
+        // volume crosses the NIC again.
+        double wdev = t.wasted.merge_read_bytes * cf + t.wasted.disk_write_bytes +
+                      t.wasted.disk_read_bytes * read_miss;
+        w.device_bytes += wdev;
+        w.net_bytes += t.wasted.shuffle_bytes * cf * (static_cast<double>(cluster_.nodes - 1) /
+                                                      static_cast<double>(cluster_.nodes));
+        w.wasted_inst += instructions_for(t.wasted, cal.reduce_costs, storage_, wdev);
+      }
       double resident = 0.5 * c.shuffle_bytes + 0.3 * c.output_bytes;
       double ws = 512.0 * 1024 + cal.reduce_sig.working_set_per_input_byte * resident;
       ws_acc += std::min(ws, cal.reduce_sig.ws_cap_bytes);

@@ -12,6 +12,19 @@
 // so compute-bound phases parallelize with slots while I/O-bound
 // phases saturate the disk — the mechanism behind every block-size
 // and core-count trend in the paper.
+//
+// Fault accounting (mapreduce/fault.hpp): a trace produced under an
+// active FaultPlan carries per-task attempt/waste/backoff fields.
+// Pricing charges them as
+//   * straggler stretch — a wave lasts as long as its slowest task,
+//     so the per-wave CPU term is scaled by the max TaskTrace::
+//     time_factor of each wave (index-order wave assignment);
+//   * wasted work — failed/killed attempts' instructions heat the
+//     memory system (power) and their spill/merge volumes hit the
+//     shared disk;
+//   * retry backoff — waits add wall-clock but no dynamic energy (the
+//     paper's idle-subtracted methodology).
+// A fault-free trace prices bit-identically to the pre-fault model.
 #pragma once
 
 #include <string>

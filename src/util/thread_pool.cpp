@@ -21,14 +21,46 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+ThreadPool::TaskId ThreadPool::submit(std::function<void()> task) {
   require(task != nullptr, "ThreadPool::submit: null task");
+  TaskId id;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.emplace(next_index_++, std::move(task));
+    id = next_index_++;
+    queue_.emplace_back(id, std::move(task));
     ++in_flight_;
   }
   work_cv_.notify_one();
+  return id;
+}
+
+bool ThreadPool::cancel(TaskId id) {
+  bool all_done = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queue_.begin();
+    while (it != queue_.end() && it->first != id) ++it;
+    if (it == queue_.end()) return false;  // already started or finished
+    queue_.erase(it);
+    --in_flight_;
+    all_done = in_flight_ == 0;
+  }
+  if (all_done) done_cv_.notify_all();
+  return true;
+}
+
+std::size_t ThreadPool::cancel_pending() {
+  std::size_t cancelled;
+  bool all_done = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled = queue_.size();
+    queue_.clear();
+    in_flight_ -= cancelled;
+    all_done = cancelled > 0 && in_flight_ == 0;
+  }
+  if (all_done) done_cv_.notify_all();
+  return cancelled;
 }
 
 void ThreadPool::wait() {
@@ -50,7 +82,7 @@ void ThreadPool::worker_loop() {
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       item = std::move(queue_.front());
-      queue_.pop();
+      queue_.pop_front();
     }
     std::exception_ptr err;
     try {

@@ -12,14 +12,18 @@
 //  * The pool is reusable: wait() leaves the workers parked for the
 //    next batch (the engine runs the map wave and the reduce wave on
 //    one pool).
+//  * Queued tasks can be cancelled before they start (cancel /
+//    cancel_pending) — the mechanism competing speculative attempts
+//    use to kill the losing attempt; a task that already started
+//    always runs to completion.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -28,9 +32,16 @@ namespace bvl {
 
 class ThreadPool {
  public:
+  /// Identifies a submitted task (its submission index), for cancel().
+  using TaskId = std::size_t;
+
   /// Spawns `threads` workers (resolved via resolve(), so 0 means one
   /// per hardware thread).
   explicit ThreadPool(int threads);
+
+  /// Destruction with work still queued is safe: the workers drain
+  /// every remaining task (capturing, not rethrowing, any exception a
+  /// late task throws) and then join.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -38,9 +49,20 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues one task. Single producer: call from the owning thread
-  /// only, never from inside a task.
-  void submit(std::function<void()> task);
+  /// Enqueues one task and returns its id. Single producer: call from
+  /// the owning thread only, never from inside a task.
+  TaskId submit(std::function<void()> task);
+
+  /// Removes a task that has not started yet; returns true on success,
+  /// false when the task already started (or finished). A cancelled
+  /// task never runs — the engine uses this to kill the losing side of
+  /// a speculative attempt pair before it wastes a worker.
+  bool cancel(TaskId id);
+
+  /// Cancels every queued-but-not-started task; returns how many were
+  /// removed. Tasks already running are unaffected (wait() still
+  /// blocks on them).
+  std::size_t cancel_pending();
 
   /// Blocks until every submitted task finished; then rethrows the
   /// captured exception of the earliest-submitted failing task, if
@@ -67,7 +89,7 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable work_cv_;  ///< workers: queue non-empty or stopping
   std::condition_variable done_cv_;  ///< wait(): all submitted work drained
-  std::queue<std::pair<std::size_t, std::function<void()>>> queue_;
+  std::deque<std::pair<std::size_t, std::function<void()>>> queue_;
   std::size_t next_index_ = 0;  ///< submission order, for deterministic rethrow
   std::size_t in_flight_ = 0;   ///< queued + currently running tasks
   bool stop_ = false;

@@ -106,6 +106,31 @@ TEST(PlanJobs, PlacesMixAndReportsCosts) {
   EXPECT_GT(decisions[1].allocation.xeon_cores, 0);
 }
 
+TEST(ScheduleMeasuredDegraded, HonorsFaultPressureAndStaysDeterministic) {
+  Characterizer ch;
+  RunSpec spec;
+  spec.workload = wl::WorkloadId::kWordCount;
+  spec.input_size = 256 * MB;
+  spec.block_size = 32 * MB;  // 8 map tasks: stragglers have waves to stretch
+
+  Allocation healthy = schedule_measured(ch, spec, Goal::edp());
+  Allocation degraded = schedule_measured_degraded(ch, spec, 0.3, 6.0, Goal::edp());
+  EXPECT_GT(degraded.xeon_cores + degraded.atom_cores, 0);
+  EXPECT_NE(degraded.rationale.find("degraded"), std::string::npos);
+  EXPECT_EQ(healthy.rationale.find("degraded"), std::string::npos);
+
+  // Same degradation, same answer (the FaultPlan is seeded, and the
+  // characterizer caches degraded traces under their own key).
+  Allocation again = schedule_measured_degraded(ch, spec, 0.3, 6.0, Goal::edp());
+  EXPECT_EQ(again.xeon_cores, degraded.xeon_cores);
+  EXPECT_EQ(again.atom_cores, degraded.atom_cores);
+
+  // The degraded spec must not pollute the healthy cache entry.
+  Allocation healthy_again = schedule_measured(ch, spec, Goal::edp());
+  EXPECT_EQ(healthy_again.xeon_cores, healthy.xeon_cores);
+  EXPECT_EQ(healthy_again.atom_cores, healthy.atom_cores);
+}
+
 TEST(PlanJobs, FallsBackWhenPoolSideMissing) {
   Characterizer ch;
   std::vector<JobRequest> jobs{{wl::WorkloadId::kSort, 1 * GB}};

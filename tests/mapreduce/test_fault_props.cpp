@@ -1,0 +1,170 @@
+// Property-based fault tests (slow tier): randomized seeded FaultPlans
+// over the paper workloads, asserting the invariants the fault layer
+// must hold for *every* plan, not just the targeted scenarios of
+// test_fault.cpp:
+//   * final job output is byte-identical to the fault-free run;
+//   * shuffle conservation: committed map emit volume equals the
+//     volume entering the reducers (faults never leak or duplicate
+//     intermediate data);
+//   * every task's attempt count stays within the retry budget;
+//   * the trace (and any exhaustion failure) is identical at
+//     exec_threads 1, 2 and 4.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/engine.hpp"
+#include "mapreduce/fault.hpp"
+#include "mapreduce/trace_io.hpp"
+#include "util/error.hpp"
+#include "workloads/registry.hpp"
+
+namespace bvl::mr {
+namespace {
+
+// SplitMix64 — the test's own source of plan randomness, seeded per
+// case so failures reproduce from the printed seed alone.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double u01(std::uint64_t x) { return static_cast<double>(mix64(x) >> 11) * 0x1.0p-53; }
+
+FaultPlan random_plan(std::uint64_t seed) {
+  FaultPlan p;
+  p.seed = mix64(seed);
+  p.fail_prob = 0.15 * u01(seed ^ 1);
+  p.straggler_prob = 0.25 * u01(seed ^ 2);
+  p.straggler_factor = 2.0 + 6.0 * u01(seed ^ 3);
+  p.max_attempts = 3 + static_cast<int>(mix64(seed ^ 4) % 3);  // 3..5
+  p.speculative = (mix64(seed ^ 5) & 1) != 0;
+  p.backoff_base_s = 0.5 + u01(seed ^ 6);
+  return p;
+}
+
+JobConfig prop_config(wl::WorkloadId id) {
+  JobConfig cfg;
+  cfg.input_size = 8 * MB;
+  cfg.block_size = 2 * MB;
+  cfg.spill_buffer = 1 * MB;
+  cfg.sim_scale = 1.0;
+  if (id == wl::WorkloadId::kNaiveBayes || id == wl::WorkloadId::kFpGrowth) cfg.sim_scale = 4.0;
+  return cfg;
+}
+
+struct RunOutcome {
+  bool exhausted = false;  // a task ran out of attempts — job failed
+  std::string trace_text;
+  std::vector<KV> output;
+};
+
+RunOutcome run_once(wl::WorkloadId id, const JobConfig& cfg) {
+  Engine e;
+  auto def = wl::make_workload(id);
+  RunOutcome r;
+  try {
+    JobTrace t = e.run(*def, cfg, [&](const KV& kv) { r.output.push_back(kv); });
+    r.trace_text = to_text(t);
+  } catch (const Error&) {
+    r.exhausted = true;
+    r.output.clear();
+  }
+  return r;
+}
+
+void check_invariants(wl::WorkloadId id, std::uint64_t seed) {
+  SCOPED_TRACE("workload=" + std::string(wl::short_name(id)) + " case_seed=" + std::to_string(seed));
+  const FaultPlan plan = random_plan(seed);
+
+  JobConfig clean_cfg = prop_config(id);
+  Engine e;
+  auto clean_def = wl::make_workload(id);
+  std::vector<KV> clean_out;
+  JobTrace clean = e.run(*clean_def, clean_cfg, [&](const KV& kv) { clean_out.push_back(kv); });
+
+  JobConfig cfg = prop_config(id);
+  cfg.fault = plan;
+  cfg.exec_threads = 1;
+  RunOutcome base = run_once(id, cfg);
+
+  // Determinism: same plan, any executor width — same trace, same
+  // output, same failure.
+  for (int threads : {2, 4}) {
+    cfg.exec_threads = threads;
+    RunOutcome r = run_once(id, cfg);
+    ASSERT_EQ(r.exhausted, base.exhausted) << "exec_threads=" << threads;
+    EXPECT_EQ(first_divergence(base.trace_text, r.trace_text), "") << "exec_threads=" << threads;
+    ASSERT_EQ(r.output.size(), base.output.size()) << "exec_threads=" << threads;
+  }
+  if (base.exhausted) return;  // legitimately killed by the plan — nothing more to check
+
+  // Output equality with the fault-free run.
+  ASSERT_EQ(base.output.size(), clean_out.size());
+  for (std::size_t i = 0; i < clean_out.size(); ++i) {
+    ASSERT_EQ(base.output[i].key, clean_out[i].key) << "record " << i;
+    ASSERT_EQ(base.output[i].value, clean_out[i].value) << "record " << i;
+  }
+
+  // Re-run at width 1 to get the trace object for structural checks.
+  cfg.exec_threads = 1;
+  auto def = wl::make_workload(id);
+  JobTrace t = e.run(*def, cfg);
+
+  // Committed counters match the clean run bit-for-bit; shuffle volume
+  // is conserved (nothing leaks, nothing duplicates).
+  ASSERT_EQ(t.map_tasks.size(), clean.map_tasks.size());
+  ASSERT_EQ(t.reduce_tasks.size(), clean.reduce_tasks.size());
+  double map_shuffle = 0, clean_map_shuffle = 0, reduce_in = 0, clean_reduce_in = 0;
+  for (std::size_t i = 0; i < t.map_tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t.map_tasks[i].counters.shuffle_bytes,
+                     clean.map_tasks[i].counters.shuffle_bytes);
+    map_shuffle += t.map_tasks[i].counters.shuffle_bytes;
+    clean_map_shuffle += clean.map_tasks[i].counters.shuffle_bytes;
+  }
+  for (std::size_t i = 0; i < t.reduce_tasks.size(); ++i) {
+    reduce_in += t.reduce_tasks[i].counters.shuffle_bytes;
+    clean_reduce_in += clean.reduce_tasks[i].counters.shuffle_bytes;
+  }
+  EXPECT_DOUBLE_EQ(map_shuffle, clean_map_shuffle);
+  EXPECT_DOUBLE_EQ(reduce_in, clean_reduce_in);
+
+  // Attempt budget and accounting sanity on every task.
+  int extra = 0;
+  for (const auto* tasks : {&t.map_tasks, &t.reduce_tasks}) {
+    for (const TaskTrace& task : *tasks) {
+      EXPECT_GE(task.attempts, 1);
+      EXPECT_LE(task.attempts, plan.max_attempts + (task.speculated ? 1 : 0));
+      EXPECT_GE(task.time_factor, 1.0);
+      EXPECT_GE(task.backoff_s, 0.0);
+      if (task.attempts == 1) {
+        EXPECT_DOUBLE_EQ(task.wasted.input_bytes, 0);
+        EXPECT_DOUBLE_EQ(task.backoff_s, 0);
+      }
+      extra += task.attempts - 1;
+    }
+  }
+  EXPECT_EQ(t.total_attempts(),
+            static_cast<int>(t.map_tasks.size() + t.reduce_tasks.size()) + extra);
+}
+
+class FaultProps : public ::testing::TestWithParam<wl::WorkloadId> {};
+
+TEST_P(FaultProps, RandomPlansHoldInvariants) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    check_invariants(GetParam(), seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWorkloads, FaultProps, ::testing::ValuesIn(wl::all_workloads()),
+                         [](const ::testing::TestParamInfo<wl::WorkloadId>& info) {
+                           return wl::short_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace bvl::mr

@@ -1,0 +1,100 @@
+// Golden-trace regression suite: canonical JobTrace fixtures for the
+// six paper workloads (WC, ST, GP, TS, NB, FP) at a fixed seed and
+// config, committed under tests/golden/. Every run serializes the
+// live trace (mapreduce/trace_io.hpp) and diffs it against the
+// fixture field by field, printing the first divergence.
+//
+// This guards the fault layer's hard invariant — an inactive
+// FaultPlan leaves the engine's output bit-identical — and protects
+// every future PR against silent trace drift: counters feed the whole
+// perf/energy overlay, so a one-ULP change here moves every figure.
+//
+// Regenerating fixtures (only after an *intentional* engine change):
+//   BVL_UPDATE_GOLDEN=1 ./test_mapreduce --gtest_filter='GoldenTrace.*'
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/engine.hpp"
+#include "mapreduce/trace_io.hpp"
+#include "workloads/registry.hpp"
+
+#ifndef BVL_GOLDEN_DIR
+#error "BVL_GOLDEN_DIR must point at the committed fixture directory"
+#endif
+
+namespace bvl::mr {
+namespace {
+
+/// The canonical fixture config: small enough to run unscaled (the
+/// heavier real-world apps execute at sim_scale 4), structured enough
+/// to exercise spills, the combiner and a multi-task shuffle.
+JobConfig golden_config(wl::WorkloadId id) {
+  JobConfig cfg;
+  cfg.input_size = 8 * MB;
+  cfg.block_size = 2 * MB;  // 4 map tasks
+  cfg.spill_buffer = 1 * MB;
+  cfg.sim_scale = 1.0;
+  cfg.seed = 42;
+  if (id == wl::WorkloadId::kNaiveBayes || id == wl::WorkloadId::kFpGrowth) cfg.sim_scale = 4.0;
+  return cfg;
+}
+
+std::string fixture_path(wl::WorkloadId id) {
+  return std::string(BVL_GOLDEN_DIR) + "/" + wl::short_name(id) + ".trace";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class GoldenTrace : public ::testing::TestWithParam<wl::WorkloadId> {};
+
+TEST_P(GoldenTrace, MatchesCommittedFixtureAtEveryThreadCount) {
+  const wl::WorkloadId id = GetParam();
+  Engine e;
+
+  // The serialized trace must be identical at every executor width
+  // before it is even compared to the fixture.
+  std::string text;
+  for (int threads : {1, 2, 4}) {
+    auto def = wl::make_workload(id);
+    JobConfig cfg = golden_config(id);
+    cfg.exec_threads = threads;
+    std::string t = to_text(e.run(*def, cfg));
+    if (threads == 1) {
+      text = t;
+    } else {
+      ASSERT_EQ(first_divergence(text, t), "") << "trace differs at exec_threads=" << threads;
+    }
+  }
+
+  const std::string path = fixture_path(id);
+  if (std::getenv("BVL_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write fixture " << path;
+    out << text;
+    GTEST_SKIP() << "fixture regenerated: " << path;
+  }
+
+  const std::string expected = read_file(path);
+  ASSERT_FALSE(expected.empty()) << "missing fixture " << path
+                                 << " (regenerate with BVL_UPDATE_GOLDEN=1)";
+  std::string diff = first_divergence(expected, text);
+  EXPECT_EQ(diff, "") << "live trace diverged from " << path << "\nfirst divergence: " << diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWorkloads, GoldenTrace, ::testing::ValuesIn(wl::all_workloads()),
+                         [](const ::testing::TestParamInfo<wl::WorkloadId>& info) {
+                           return wl::short_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace bvl::mr

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -67,6 +68,87 @@ TEST(ThreadPool, ResolveSemantics) {
   EXPECT_EQ(ThreadPool::resolve(1), 1);
   EXPECT_EQ(ThreadPool::resolve(12), 12);
   EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+TEST(ThreadPool, CancelRemovesQueuedTaskBeforeItStarts) {
+  ThreadPool pool(1);
+  std::atomic<bool> gate{false};
+  std::atomic<int> ran{0};
+  // Occupy the single worker so later submissions stay queued.
+  pool.submit([&] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  ThreadPool::TaskId doomed = pool.submit([&] { ran.fetch_add(1); });
+  ThreadPool::TaskId kept = pool.submit([&] { ran.fetch_add(10); });
+
+  EXPECT_TRUE(pool.cancel(doomed));
+  EXPECT_FALSE(pool.cancel(doomed));  // already removed
+  gate.store(true);
+  pool.wait();
+  EXPECT_EQ(ran.load(), 10);               // the cancelled task never ran
+  EXPECT_FALSE(pool.cancel(kept));         // already finished
+  EXPECT_FALSE(pool.cancel(999999));       // never existed
+}
+
+TEST(ThreadPool, CancelPendingClearsTheQueue) {
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> gate{false};
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+    started.store(true);
+    while (!gate.load()) std::this_thread::yield();
+  });
+  // Wait until the worker holds the gate task, so cancel_pending sees
+  // exactly the five queued tasks (a running task is not cancellable).
+  while (!started.load()) std::this_thread::yield();
+  for (int i = 0; i < 5; ++i) pool.submit([&] { ran.fetch_add(1); });
+
+  EXPECT_EQ(pool.cancel_pending(), 5u);
+  EXPECT_EQ(pool.cancel_pending(), 0u);  // idempotent on an empty queue
+  gate.store(true);
+  pool.wait();
+  EXPECT_EQ(ran.load(), 0);
+
+  // The pool is still usable after a mass cancellation.
+  pool.submit([&] { ran.fetch_add(100); });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, DestructionWithWorkQueuedDrainsEverything) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    std::atomic<bool> gate{false};
+    pool.submit([&] {
+      while (!gate.load()) std::this_thread::yield();
+      ran.fetch_add(1);
+    });
+    for (int i = 0; i < 20; ++i) pool.submit([&] { ran.fetch_add(1); });
+    gate.store(true);
+    // No wait(): the destructor must drain the queue before joining.
+  }
+  EXPECT_EQ(ran.load(), 21);
+}
+
+TEST(ThreadPool, ExceptionFromQueuedTaskAfterShutdownBeginsIsSwallowed) {
+  // A task still queued when the destructor runs throws while the pool
+  // is draining. The exception must be captured (never rethrown from a
+  // destructor, never std::terminate) and the healthy tasks around it
+  // still run.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    std::atomic<bool> gate{false};
+    pool.submit([&] {
+      while (!gate.load()) std::this_thread::yield();
+    });
+    pool.submit([&]() -> void { throw std::runtime_error("late failure during drain"); });
+    pool.submit([&] { ran.fetch_add(1); });
+    gate.store(true);
+  }
+  EXPECT_EQ(ran.load(), 1);
 }
 
 TEST(ThreadPool, FreeParallelForSerialFallback) {
