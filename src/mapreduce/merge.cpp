@@ -14,7 +14,7 @@ std::vector<KV> merge_runs(std::vector<std::vector<KV>> runs, WorkCounters& c) {
   if (runs.size() == 1) return std::move(runs.front());
 
   struct Cursor {
-    const std::vector<KV>* run;
+    std::vector<KV>* run;
     std::size_t idx;
   };
   auto* compares = &c.compares;
@@ -25,7 +25,7 @@ std::vector<KV> merge_runs(std::vector<std::vector<KV>> runs, WorkCounters& c) {
   };
   std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> heap(cmp);
   std::size_t total = 0;
-  for (const auto& r : runs) {
+  for (auto& r : runs) {
     total += r.size();
     heap.push({&r, 0});
   }
@@ -35,7 +35,9 @@ std::vector<KV> merge_runs(std::vector<std::vector<KV>> runs, WorkCounters& c) {
   while (!heap.empty()) {
     Cursor cur = heap.top();
     heap.pop();
-    out.push_back((*cur.run)[cur.idx]);
+    // The runs are consumed: move the winning record out instead of
+    // copying its owning strings.
+    out.push_back(std::move((*cur.run)[cur.idx]));
     if (cur.idx + 1 < cur.run->size()) heap.push({cur.run, cur.idx + 1});
   }
   return out;
