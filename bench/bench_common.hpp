@@ -75,4 +75,41 @@ inline void print_header(const std::string& title, const std::string& paper_ref,
   std::printf("\n");
 }
 
+/// One row of a machine-readable bench summary. records_per_s is 0
+/// for benchmarks without a record notion.
+struct BenchJsonEntry {
+  std::string bench;
+  double ns_per_op = 0;
+  double records_per_s = 0;
+};
+
+/// Parses a `--json PATH` / `--json=PATH` flag out of argv (same
+/// convention as --threads); returns the path or "" if absent. Benches
+/// that support it pass their results to write_bench_json so the repo's
+/// committed BENCH_*.json perf ledgers can be regenerated from CI runs.
+inline std::string parse_json_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) return argv[i + 1];
+    if (a.rfind("--json=", 0) == 0) return a.substr(7);
+  }
+  return "";
+}
+
+/// Writes entries as a JSON array of {"bench", "ns_per_op",
+/// "records_per_s"} objects. Returns false if the file can't be opened.
+inline bool write_bench_json(const std::string& path, const std::vector<BenchJsonEntry>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    std::fprintf(f, "  {\"bench\": \"%s\", \"ns_per_op\": %.1f, \"records_per_s\": %.1f}%s\n",
+                 entries[i].bench.c_str(), entries[i].ns_per_op, entries[i].records_per_s,
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace bvl::bench

@@ -10,13 +10,22 @@
 // should beat --threads 1 by ~min(4, tasks)x on BM_EngineRun while
 // producing the identical JobTrace (the equivalence tests assert the
 // latter).
+//
+// --json PATH | --json=PATH additionally writes the results as a JSON
+// array of {"bench", "ns_per_op", "records_per_s"} objects —
+// records_per_s is input records through the engine, 0 for benchmarks
+// without a record notion. BENCH_engine.json at the repo root is the
+// committed before/after ledger for this file's headline numbers; CI's
+// perf-smoke job uploads a fresh run as an artifact for comparison.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "arch/cache_sim.hpp"
 #include "mapreduce/engine.hpp"
 #include "perf/perf_model.hpp"
@@ -31,6 +40,7 @@ int g_threads = 1;
 
 void BM_EngineRun(benchmark::State& state) {
   auto id = wl::all_workloads()[static_cast<std::size_t>(state.range(0))];
+  std::int64_t records = 0;
   for (auto _ : state) {
     auto def = wl::make_workload(id);
     mr::Engine engine;
@@ -41,7 +51,9 @@ void BM_EngineRun(benchmark::State& state) {
     cfg.exec_threads = g_threads;
     mr::JobTrace t = engine.run(*def, cfg);
     benchmark::DoNotOptimize(t.map_total().emits);
+    records += static_cast<std::int64_t>(t.map_total().input_records);
   }
+  state.SetItemsProcessed(records);
   state.SetLabel(wl::long_name(id));
 }
 BENCHMARK(BM_EngineRun)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
@@ -49,6 +61,7 @@ BENCHMARK(BM_EngineRun)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
 // Wider job (16 map tasks) so executor scaling is visible past 4
 // threads; this is the wall-clock target for the --threads speedup.
 void BM_EngineRunWide(benchmark::State& state) {
+  std::int64_t records = 0;
   for (auto _ : state) {
     auto def = wl::make_workload(wl::WorkloadId::kWordCount);
     mr::Engine engine;
@@ -59,7 +72,9 @@ void BM_EngineRunWide(benchmark::State& state) {
     cfg.exec_threads = g_threads;
     mr::JobTrace t = engine.run(*def, cfg);
     benchmark::DoNotOptimize(t.map_total().emits);
+    records += static_cast<std::int64_t>(t.map_total().input_records);
   }
+  state.SetItemsProcessed(records);
   state.SetLabel("WordCount 16 tasks, exec_threads=" + std::to_string(g_threads));
 }
 BENCHMARK(BM_EngineRunWide)->Unit(benchmark::kMillisecond);
@@ -95,17 +110,43 @@ void BM_PriceTrace(benchmark::State& state) {
 }
 BENCHMARK(BM_PriceTrace);
 
+// Console reporter that also captures per-benchmark results so main()
+// can write the machine-readable JSON summary (bench_common.hpp's
+// BENCH_*.json format) next to the normal console table.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const auto& r : reports) {
+      if (r.iterations == 0) continue;
+      bench::BenchJsonEntry e;
+      e.bench = r.benchmark_name();
+      e.ns_per_op = r.real_accumulated_time / static_cast<double>(r.iterations) * 1e9;
+      auto it = r.counters.find("items_per_second");
+      e.records_per_s = it == r.counters.end() ? 0.0 : static_cast<double>(it->second);
+      entries.push_back(std::move(e));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<bench::BenchJsonEntry> entries;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --threads before google-benchmark sees the arg list (it
-  // rejects flags it does not know).
+  // Strip --threads and --json before google-benchmark sees the arg
+  // list (it rejects flags it does not know).
+  std::string json_path;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       g_threads = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       g_threads = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else {
       args.push_back(argv[i]);
     }
@@ -114,7 +155,12 @@ int main(int argc, char** argv) {
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (!json_path.empty() && !bench::write_bench_json(json_path, reporter.entries)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 // stream real output records — no performance model involved. Shows
 // the Hadoop-like API surface: SplitSource, Mapper, Reducer, combiner
 // and JobConfig knobs.
+#include <charconv>
 #include <cstdio>
 #include <map>
 
@@ -28,11 +29,13 @@ class LengthMapper final : public mr::Mapper {
 // Reduce/combine: sum occurrences.
 class CountReducer final : public mr::Reducer {
  public:
-  void reduce(const std::string& key, const std::vector<std::string>& values, mr::Emitter& out,
+  void reduce(std::string_view key, const std::vector<std::string_view>& values, mr::Emitter& out,
               mr::WorkCounters& c) override {
     long long sum = 0;
-    for (const auto& v : values) {
-      sum += std::stoll(v);
+    for (std::string_view v : values) {
+      long long x = 0;
+      std::from_chars(v.data(), v.data() + v.size(), x);
+      sum += x;
       c.compute_units += 1;
     }
     out.emit(key, std::to_string(sum));

@@ -15,11 +15,14 @@
 
 namespace bvl::mr {
 
-/// Sink for map/combine/reduce output.
+/// Sink for map/combine/reduce output. The views are consumed during
+/// the call (the collector appends the bytes to its arena), so
+/// callers may pass views into temporaries or into their input
+/// record.
 class Emitter {
  public:
   virtual ~Emitter() = default;
-  virtual void emit(std::string key, std::string value) = 0;
+  virtual void emit(std::string_view key, std::string_view value) = 0;
 };
 
 class Mapper {
@@ -31,10 +34,14 @@ class Mapper {
   virtual void map(const Record& rec, Emitter& out, WorkCounters& c) = 0;
 };
 
+/// Reducer (also usable as a combiner). `key` and the views in
+/// `values` point into sealed arena buffers and stay valid for the
+/// duration of the call; emitting goes to a distinct output arena, so
+/// reading the inputs while emitting is always safe.
 class Reducer {
  public:
   virtual ~Reducer() = default;
-  virtual void reduce(const std::string& key, const std::vector<std::string>& values,
+  virtual void reduce(std::string_view key, const std::vector<std::string_view>& values,
                       Emitter& out, WorkCounters& c) = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "mapreduce/counters.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace bvl::mr {
@@ -22,6 +24,10 @@ void WorkCounters::add(const WorkCounters& o) {
   disk_write_bytes += o.disk_write_bytes;
   disk_seeks += o.disk_seeks;
   shuffle_bytes += o.shuffle_bytes;
+  arena_bytes += o.arena_bytes;
+  // Tasks do not share buffers, so the aggregate peak is the largest
+  // single-task footprint, not a sum.
+  peak_run_bytes = std::max(peak_run_bytes, o.peak_run_bytes);
 }
 
 WorkCounters WorkCounters::scaled(double s, double log_adjust, bool combiner_saturated) const {
@@ -37,6 +43,8 @@ WorkCounters WorkCounters::scaled(double s, double log_adjust, bool combiner_sat
   c.token_ops *= s;
   c.compute_units *= s;
   c.disk_read_bytes *= s;
+  c.arena_bytes *= s;
+  c.peak_run_bytes *= s;
   // spills, disk_seeks: structural, unchanged.
   if (!combiner_saturated) {
     c.output_records *= s;
@@ -69,6 +77,8 @@ WorkCounters WorkCounters::scaled_uniform(double f) const {
   c.disk_write_bytes *= f;
   c.disk_seeks *= f;
   c.shuffle_bytes *= f;
+  c.arena_bytes *= f;
+  c.peak_run_bytes *= f;
   return c;
 }
 

@@ -35,6 +35,13 @@ struct WorkCounters {
   double disk_seeks = 0;       ///< random ops
   double shuffle_bytes = 0;    ///< map->reduce network volume
 
+  // Allocation footprint of the zero-copy KV path (mapreduce/arena.hpp).
+  // Diagnostic-only: excluded from the golden-trace comparison fields
+  // (trace_io emits them only on request) so committed fixtures stay
+  // valid across arena-tuning changes.
+  double arena_bytes = 0;     ///< payload bytes appended into KV arenas
+  double peak_run_bytes = 0;  ///< peak resident sealed-run + fill-buffer bytes in one task
+
   void add(const WorkCounters& o);
 
   /// Rescales executed counters to logical scale: linear fields are

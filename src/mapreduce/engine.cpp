@@ -102,7 +102,9 @@ JobTrace Engine::run(JobDefinition& def, const JobConfig& cfg,
 
   // ---- Map phase ----
   const bool has_combiner = cfg.use_combiner && def.make_combiner() != nullptr;
-  std::vector<std::vector<KV>> map_outputs;
+  // Sealed map-output runs. These arenas back the shuffle's RunView
+  // segments, so they must stay alive until the reduce phase is done.
+  std::vector<ArenaRun> map_outputs;
   map_outputs.reserve(blocks.size());
   double total_exec_input = 0;
   double total_logical_input = 0;
@@ -146,8 +148,10 @@ JobTrace Engine::run(JobDefinition& def, const JobConfig& cfg,
       r.counters.output_records += static_cast<double>(r.output.size());
       r.counters.output_bytes += out_bytes;
       if (r.counters.spills <= 1) r.counters.disk_write_bytes += out_bytes;
-      if (output_sink)
-        for (const auto& kv : r.output) output_sink(kv);
+      if (output_sink) {
+        for (std::size_t k = 0; k < r.output.size(); ++k)
+          output_sink(KV{std::string(r.output.key(k)), std::string(r.output.value(k))});
+      }
     }
 
     double exec_in = std::max(1.0, r.counters.input_bytes);
@@ -180,18 +184,21 @@ JobTrace Engine::run(JobDefinition& def, const JobConfig& cfg,
   if (!map_only) {
     double global_scale = std::max(1.0, total_logical_input / std::max(1.0, total_exec_input));
 
-    // Route each map output pair to its reduce partition.
-    std::vector<std::vector<std::vector<KV>>> segments(
-        static_cast<std::size_t>(reducers));
-    for (auto& seg : segments) seg.resize(map_outputs.size());
+    // Route each map output pair to its reduce partition: only the
+    // 16-byte refs move, each partition's segment stays a sorted view
+    // into the producing map task's arena.
+    std::vector<std::vector<RunView>> segments(static_cast<std::size_t>(reducers));
+    for (auto& seg : segments) {
+      seg.resize(map_outputs.size());
+      for (std::size_t m = 0; m < map_outputs.size(); ++m) seg[m].data = &map_outputs[m].data;
+    }
     for (std::size_t m = 0; m < map_outputs.size(); ++m) {
-      for (auto& kv : map_outputs[m]) {
-        int p = def.partition(kv.key, reducers);
+      for (const KVRef& ref : map_outputs[m].refs) {
+        int p = def.partition(map_outputs[m].data.key(ref), reducers);
         require(p >= 0 && p < reducers, "Engine::run: partition out of range");
-        segments[static_cast<std::size_t>(p)][m].push_back(std::move(kv));
+        segments[static_cast<std::size_t>(p)][m].refs.push_back(ref);
       }
     }
-    map_outputs.clear();
 
     // A saturated combiner means the reduce side sees the same data
     // at any scale: its counters are already logical.
@@ -217,8 +224,10 @@ JobTrace Engine::run(JobDefinition& def, const JobConfig& cfg,
 
     for (int r = 0; r < reducers; ++r) {
       ReduceTaskResult& res = reduce_results[static_cast<std::size_t>(r)];
-      if (output_sink)
-        for (const auto& kv : res.output) output_sink(kv);
+      if (output_sink) {
+        for (std::size_t k = 0; k < res.output.size(); ++k)
+          output_sink(KV{std::string(res.output.key(k)), std::string(res.output.value(k))});
+      }
       TaskTrace t;
       t.counters = res.counters.scaled(reduce_scale, reduce_adj);
       t.logical_bytes = static_cast<Bytes>(t.counters.shuffle_bytes);

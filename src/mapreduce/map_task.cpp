@@ -1,5 +1,6 @@
 #include "mapreduce/map_task.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "mapreduce/merge.hpp"
@@ -10,55 +11,80 @@ namespace bvl::mr {
 MapOutputCollector::MapOutputCollector(Bytes spill_threshold, Reducer* combiner, WorkCounters& c)
     : threshold_(spill_threshold), combiner_(combiner), c_(c) {
   require(threshold_ > 0, "MapOutputCollector: zero spill threshold");
+  // Size the fill buffer like io.sort.mb: payload is bounded by the
+  // spill threshold, so one up-front reservation makes the steady
+  // state allocation-free. Capped so tiny test thresholds stay tiny
+  // and huge buffers grow on demand instead of committing pages.
+  arena_.reserve(std::min<std::size_t>(threshold_, 4u * 1024 * 1024));
 }
 
-void MapOutputCollector::emit(std::string key, std::string value) {
-  KV kv{std::move(key), std::move(value)};
-  std::size_t b = kv.bytes();
+void MapOutputCollector::emit(std::string_view key, std::string_view value) {
+  std::size_t b = key.size() + value.size() + KV::kFramingBytes;
   c_.emits += 1;
   c_.emit_bytes += static_cast<double>(b);
+  c_.arena_bytes += static_cast<double>(key.size() + value.size());
   buffered_bytes_ += b;
-  buffer_.push_back(std::move(kv));
+  buffer_.push_back(arena_.append(key, value));
   if (buffered_bytes_ >= threshold_) spill();
 }
 
-void MapOutputCollector::sort_and_combine(std::vector<KV>& run) {
-  counting_sort_run(run, c_);
+void MapOutputCollector::sort_and_combine(ArenaRun& run) {
+  counting_sort_refs(run.data, run.refs, c_);
   if (combiner_ == nullptr || run.empty()) return;
 
-  // Group adjacent equal keys and feed each group to the combiner.
-  std::vector<KV> combined;
-  combined.reserve(run.size() / 2 + 1);
+  // Group adjacent equal keys and feed each group to the combiner,
+  // which emits into a fresh arena (already key-grouped, so output
+  // order stays sorted as long as the combiner emits the group key,
+  // which Hadoop requires). Input views stay valid throughout: the
+  // output arena is a distinct buffer.
+  ArenaRun combined;
+  combined.refs.reserve(run.size() / 2 + 1);
 
-  // Inline emitter capturing combiner output (already key-grouped, so
-  // output order stays sorted as long as the combiner emits the group
-  // key, which Hadoop requires).
-  struct VecEmitter final : Emitter {
-    std::vector<KV>* out;
-    void emit(std::string key, std::string value) override {
-      out->push_back({std::move(key), std::move(value)});
+  struct ArenaEmitter final : Emitter {
+    ArenaRun* out;
+    double* arena_bytes;
+    void emit(std::string_view key, std::string_view value) override {
+      *arena_bytes += static_cast<double>(key.size() + value.size());
+      out->refs.push_back(out->data.append(key, value));
     }
   } emitter;
   emitter.out = &combined;
+  emitter.arena_bytes = &c_.arena_bytes;
 
   std::size_t i = 0;
   while (i < run.size()) {
+    std::string_view group_key = run.key(i);
     std::size_t j = i + 1;
-    while (j < run.size() && run[j].key == run[i].key) ++j;
-    std::vector<std::string> values;
-    values.reserve(j - i);
-    for (std::size_t k = i; k < j; ++k) values.push_back(std::move(run[k].value));
+    while (j < run.size() && ref_key_eq(run.data, run.refs[j], run.data, run.refs[i])) ++j;
+    values_scratch_.clear();
+    for (std::size_t k = i; k < j; ++k) values_scratch_.push_back(run.value(k));
     c_.hash_ops += 1;  // one group lookup per distinct key
-    combiner_->reduce(run[i].key, values, emitter, c_);
+    combiner_->reduce(group_key, values_scratch_, emitter, c_);
     i = j;
   }
+  // Recycle the spent input arena as the next fill buffer: its
+  // capacity is already sized to the spill threshold.
+  spare_ = std::move(run.data);
+  spare_.reset();
   run = std::move(combined);
+}
+
+void MapOutputCollector::note_footprint() {
+  double resident = static_cast<double>(resident_run_bytes_ + arena_.size());
+  c_.peak_run_bytes = std::max(c_.peak_run_bytes, resident);
 }
 
 void MapOutputCollector::spill() {
   if (buffer_.empty()) return;
-  std::vector<KV> run = std::move(buffer_);
+  note_footprint();
+  std::size_t spilled_records = buffer_.size();
+  ArenaRun run{std::move(arena_), std::move(buffer_)};
+  arena_ = std::move(spare_);
+  spare_ = KVArena();
   buffer_.clear();
+  // The move above surrendered the index allocation to the sealed
+  // run; re-reserve so the next fill doesn't regrow from scratch.
+  buffer_.reserve(spilled_records);
   buffered_bytes_ = 0;
   sort_and_combine(run);
   double bytes = run_bytes(run);
@@ -66,13 +92,19 @@ void MapOutputCollector::spill() {
   c_.spill_bytes += bytes;
   c_.disk_seeks += 1;
   ++spill_count_;
+  resident_run_bytes_ += run.data.size();
   runs_.push_back(std::move(run));
+  note_footprint();
 }
 
-std::vector<KV> MapOutputCollector::close() {
+ArenaRun MapOutputCollector::close() {
   spill();
   if (runs_.empty()) return {};
-  if (runs_.size() == 1) return std::move(runs_.front());
+  if (runs_.size() == 1) {
+    ArenaRun only = std::move(runs_.front());
+    runs_.clear();
+    return only;
+  }
 
   // Multi-spill: Hadoop re-reads every spill file and writes one
   // merged map-output file.
@@ -81,8 +113,10 @@ std::vector<KV> MapOutputCollector::close() {
   c_.merge_read_bytes += total;
   c_.disk_write_bytes += total;
   c_.disk_seeks += static_cast<double>(runs_.size());
-  std::vector<KV> merged = merge_runs(std::move(runs_), c_);
+  ArenaRun merged = merge_runs(std::move(runs_), c_);
   runs_.clear();
+  c_.peak_run_bytes = std::max(
+      c_.peak_run_bytes, static_cast<double>(resident_run_bytes_ + merged.data.size()));
   return merged;
 }
 

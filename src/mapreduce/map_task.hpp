@@ -5,12 +5,21 @@
 // through a fixed-size sort buffer, producing more spills and a deeper
 // final merge ("if map task has to handle more than one spill, more
 // read/write operations will be required", Sec. 3.1.1).
+//
+// Zero-copy collector: emits append raw bytes to a KVArena
+// (Hadoop's MapOutputBuffer) and push a 16-byte KVRef onto the index;
+// sort orders the index, the combiner reads grouped views and emits
+// into a fresh arena, and a spill seals the arena into an ArenaRun.
+// Record payloads are copied exactly once per pipeline stage boundary
+// (emit, combine output, final merge) and never per comparison.
 #pragma once
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "mapreduce/api.hpp"
+#include "mapreduce/arena.hpp"
 #include "mapreduce/counters.hpp"
 #include "mapreduce/kv.hpp"
 
@@ -25,32 +34,37 @@ class MapOutputCollector final : public Emitter {
   /// `combiner` may be null.
   MapOutputCollector(Bytes spill_threshold, Reducer* combiner, WorkCounters& c);
 
-  void emit(std::string key, std::string value) override;
+  void emit(std::string_view key, std::string_view value) override;
 
   /// Final spill + merge of all runs; returns the single sorted,
   /// combined output run.
-  std::vector<KV> close();
+  ArenaRun close();
 
   std::size_t spill_count() const { return spill_count_; }
 
  private:
   void spill();
-  /// Sorts + combines `run` in place (no-op combine when combiner_
-  /// is null).
-  void sort_and_combine(std::vector<KV>& run);
+  /// Sorts `run`'s index in place, then replaces the run with the
+  /// combined output (no-op combine when combiner_ is null).
+  void sort_and_combine(ArenaRun& run);
+  void note_footprint();
 
   Bytes threshold_;
   Reducer* combiner_;
   WorkCounters& c_;
-  std::vector<KV> buffer_;
+  KVArena arena_;              ///< active fill buffer (io.sort.mb)
+  std::vector<KVRef> buffer_;  ///< index of the active buffer
   std::size_t buffered_bytes_ = 0;
-  std::vector<std::vector<KV>> runs_;
+  std::vector<ArenaRun> runs_;  ///< sealed spill runs
+  std::size_t resident_run_bytes_ = 0;
   std::size_t spill_count_ = 0;
+  KVArena spare_;  ///< recycled fill arena (combiner path)
+  std::vector<std::string_view> values_scratch_;
 };
 
 struct MapTaskResult {
-  WorkCounters counters;   ///< executed-scale counters
-  std::vector<KV> output;  ///< sorted map output (post-combine)
+  WorkCounters counters;  ///< executed-scale counters
+  ArenaRun output;        ///< sorted map output (post-combine)
 };
 
 /// Runs one map task over the split produced by `def.open_split`.

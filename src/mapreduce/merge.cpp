@@ -1,64 +1,115 @@
 #include "mapreduce/merge.hpp"
 
 #include <algorithm>
-#include <queue>
 
 namespace bvl::mr {
 
-std::vector<KV> merge_runs(std::vector<std::vector<KV>> runs, WorkCounters& c) {
+ArenaRun merge_runs(std::vector<ArenaRun> runs, WorkCounters& c) {
   // Drop empty runs up front.
   runs.erase(std::remove_if(runs.begin(), runs.end(),
-                            [](const std::vector<KV>& r) { return r.empty(); }),
+                            [](const ArenaRun& r) { return r.empty(); }),
              runs.end());
   if (runs.empty()) return {};
   if (runs.size() == 1) return std::move(runs.front());
 
   struct Cursor {
-    std::vector<KV>* run;
+    const ArenaRun* run;
     std::size_t idx;
   };
-  auto* compares = &c.compares;
-  auto cmp = [compares](const Cursor& a, const Cursor& b) {
-    ++*compares;
+  std::uint64_t compares = 0;
+  auto cmp = [&compares](const Cursor& a, const Cursor& b) {
+    ++compares;
     // priority_queue is a max-heap; invert for ascending merge.
-    return (*a.run)[a.idx].key > (*b.run)[b.idx].key;
+    return ref_key_less(b.run->data, b.run->refs[b.idx], a.run->data, a.run->refs[a.idx]);
   };
   std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> heap(cmp);
   std::size_t total = 0;
-  for (auto& r : runs) {
+  std::size_t total_payload = 0;
+  for (const auto& r : runs) {
     total += r.size();
+    total_payload += r.data.size();
     heap.push({&r, 0});
   }
 
-  std::vector<KV> out;
-  out.reserve(total);
+  ArenaRun out;
+  out.data.reserve(total_payload);
+  out.refs.reserve(total);
   while (!heap.empty()) {
     Cursor cur = heap.top();
     heap.pop();
-    // The runs are consumed: move the winning record out instead of
-    // copying its owning strings.
-    out.push_back(std::move((*cur.run)[cur.idx]));
+    out.refs.push_back(out.data.append(cur.run->data, cur.run->refs[cur.idx]));
     if (cur.idx + 1 < cur.run->size()) heap.push({cur.run, cur.idx + 1});
   }
+  c.compares += static_cast<double>(compares);
+  c.arena_bytes += static_cast<double>(out.data.size());
   return out;
 }
 
-void counting_sort_run(std::vector<KV>& run, WorkCounters& c) {
-  auto* compares = &c.compares;
-  std::stable_sort(run.begin(), run.end(), [compares](const KV& a, const KV& b) {
-    ++*compares;
-    return a.key < b.key;
+void counting_sort_refs(const KVArena& data, std::vector<KVRef>& refs, WorkCounters& c) {
+  // Accumulate the compare count in a local so the sort's inner loop
+  // isn't serialized on a read-modify-write of the shared counter;
+  // the final tally is identical.
+  std::uint64_t compares = 0;
+  std::stable_sort(refs.begin(), refs.end(), [&data, &compares](const KVRef& a, const KVRef& b) {
+    ++compares;
+    return ref_key_less(data, a, data, b);
   });
+  c.compares += static_cast<double>(compares);
 }
 
-double run_bytes(const std::vector<KV>& run) {
+void counting_sort_run(ArenaRun& run, WorkCounters& c) { counting_sort_refs(run.data, run.refs, c); }
+
+namespace {
+double refs_bytes(const std::vector<KVRef>& refs) {
   double b = 0;
-  for (const auto& kv : run) b += static_cast<double>(kv.bytes());
+  for (const auto& r : refs) b += static_cast<double>(r.bytes());
   return b;
 }
+}  // namespace
 
-bool is_sorted_run(const std::vector<KV>& run) {
-  return std::is_sorted(run.begin(), run.end(), kv_key_less);
+double run_bytes(const ArenaRun& run) { return refs_bytes(run.refs); }
+double run_bytes(const RunView& run) { return refs_bytes(run.refs); }
+
+bool is_sorted_run(const ArenaRun& run) {
+  for (std::size_t i = 1; i < run.size(); ++i) {
+    if (run.key(i) < run.key(i - 1)) return false;
+  }
+  return true;
+}
+
+GroupIterator::GroupIterator(const std::vector<RunView>& segments, WorkCounters& c)
+    : heap_(Compare{&c.compares}) {
+  for (const auto& seg : segments) {
+    if (!seg.empty()) heap_.push({&seg, 0});
+  }
+}
+
+void GroupIterator::advance(Cursor cur) {
+  if (cur.idx + 1 < cur.run->size()) heap_.push({cur.run, cur.idx + 1});
+}
+
+bool GroupIterator::next(std::string_view& key, std::vector<std::string_view>& values) {
+  values.clear();
+  if (heap_.empty()) return false;
+  Cursor cur = heap_.top();
+  heap_.pop();
+  const KVArena& cur_data = *cur.run->data;
+  const KVRef cur_ref = cur.run->refs[cur.idx];
+  key = cur_data.key(cur_ref);
+  values.push_back(cur_data.value(cur_ref));
+  advance(cur);
+  // Gather the rest of the group: equality checks against the heap
+  // top are plain view compares, not charged comparator work (the
+  // original merge-then-group path's grouping scan was uncharged
+  // too).
+  while (!heap_.empty()) {
+    Cursor top = heap_.top();
+    if (!ref_key_eq(*top.run->data, top.run->refs[top.idx], cur_data, cur_ref)) break;
+    heap_.pop();
+    values.push_back(top.run->value(top.idx));
+    advance(top);
+  }
+  return true;
 }
 
 }  // namespace bvl::mr

@@ -1,26 +1,77 @@
-// Counting k-way merge of sorted KV runs. Comparator invocations are
-// charged to WorkCounters::compares so merge cost scales with run
+// Counting k-way merge over sealed arena runs. Comparator invocations
+// are charged to WorkCounters::compares so merge cost scales with run
 // count exactly as Hadoop's spill-merge does (n log k).
+//
+// Counter contract: the cursor heap performs the identical sequence
+// of comparator invocations the engine's original owning-string merge
+// did (same push order, same max-heap discipline), so `compares` in
+// the golden traces is bit-identical — only the payload handling
+// changed (index moves + one bounded byte copy per winner instead of
+// string copies).
 #pragma once
 
+#include <queue>
+#include <string_view>
 #include <vector>
 
+#include "mapreduce/arena.hpp"
 #include "mapreduce/counters.hpp"
 #include "mapreduce/kv.hpp"
 
 namespace bvl::mr {
 
-/// Merges sorted runs into one sorted vector, counting comparator
-/// calls on `c.compares`. Runs are consumed (moved from).
-std::vector<KV> merge_runs(std::vector<std::vector<KV>> runs, WorkCounters& c);
+/// Merges sorted runs into one sealed run, counting comparator calls
+/// on `c.compares`. Runs are consumed; winning payloads are appended
+/// to the output arena (reserved up front, so no reallocation).
+ArenaRun merge_runs(std::vector<ArenaRun> runs, WorkCounters& c);
 
-/// Sorts `run` in place by key, counting comparator calls.
-void counting_sort_run(std::vector<KV>& run, WorkCounters& c);
+/// Sorts a run's index in place by key (stable), counting comparator
+/// calls. Payload bytes never move.
+void counting_sort_run(ArenaRun& run, WorkCounters& c);
+void counting_sort_refs(const KVArena& data, std::vector<KVRef>& refs, WorkCounters& c);
 
-/// Total serialized bytes of a run.
-double run_bytes(const std::vector<KV>& run);
+/// Total serialized bytes of a run (payload + per-record framing).
+double run_bytes(const ArenaRun& run);
+double run_bytes(const RunView& run);
 
 /// True when the run is non-decreasing by key.
-bool is_sorted_run(const std::vector<KV>& run);
+bool is_sorted_run(const ArenaRun& run);
+
+/// Streaming k-way merge + group iterator over sorted segments: the
+/// reduce side's view of the shuffle. Pops records in globally sorted
+/// order and batches equal keys into one group per next() call —
+/// without materializing the merged run, so reduce values are views
+/// straight into the map-output arenas. The cursor heap charges
+/// `compares` identically to merge_runs over the same segments.
+class GroupIterator {
+ public:
+  /// `segments` must outlive the iterator (their arenas back every
+  /// view handed out). Empty segments are skipped.
+  GroupIterator(const std::vector<RunView>& segments, WorkCounters& c);
+
+  /// Advances to the next key group. `key` and the views in `values`
+  /// point into the segment arenas and stay valid for the lifetime of
+  /// the segments (not just the current group). Returns false when
+  /// the segments are exhausted.
+  bool next(std::string_view& key, std::vector<std::string_view>& values);
+
+ private:
+  struct Cursor {
+    const RunView* run;
+    std::size_t idx;
+  };
+  struct Compare {
+    double* compares;
+    bool operator()(const Cursor& a, const Cursor& b) const {
+      ++*compares;
+      // priority_queue is a max-heap; invert for ascending merge.
+      return ref_key_less(*b.run->data, b.run->refs[b.idx], *a.run->data, a.run->refs[a.idx]);
+    }
+  };
+
+  void advance(Cursor cur);
+
+  std::priority_queue<Cursor, std::vector<Cursor>, Compare> heap_;
+};
 
 }  // namespace bvl::mr

@@ -1,12 +1,13 @@
 #include "mapreduce/reduce_task.hpp"
 
+#include <algorithm>
+
 #include "mapreduce/merge.hpp"
 #include "util/error.hpp"
 
 namespace bvl::mr {
 
-ReduceTaskResult run_reduce_task(const JobDefinition& def,
-                                 std::vector<std::vector<KV>> segments) {
+ReduceTaskResult run_reduce_task(const JobDefinition& def, std::vector<RunView> segments) {
   ReduceTaskResult result;
   WorkCounters& c = result.counters;
 
@@ -21,34 +22,35 @@ ReduceTaskResult run_reduce_task(const JobDefinition& def,
   c.merge_read_bytes += fetched;
   c.disk_seeks += static_cast<double>(segments.size());
 
-  std::vector<KV> merged = merge_runs(std::move(segments), c);
-
-  struct VecEmitter final : Emitter {
-    std::vector<KV>* out;
-    void emit(std::string key, std::string value) override {
-      out->push_back({std::move(key), std::move(value)});
+  struct ArenaEmitter final : Emitter {
+    ArenaRun* out;
+    double* arena_bytes;
+    void emit(std::string_view key, std::string_view value) override {
+      *arena_bytes += static_cast<double>(key.size() + value.size());
+      out->refs.push_back(out->data.append(key, value));
     }
   } emitter;
   emitter.out = &result.output;
+  emitter.arena_bytes = &c.arena_bytes;
 
-  std::size_t i = 0;
-  while (i < merged.size()) {
-    std::size_t j = i + 1;
-    while (j < merged.size() && merged[j].key == merged[i].key) ++j;
-    std::vector<std::string> values;
-    values.reserve(j - i);
-    for (std::size_t k = i; k < j; ++k) values.push_back(std::move(merged[k].value));
+  // Stream sorted key groups off the segment cursor heap; values are
+  // views into the map-output arenas, the reducer emits into this
+  // task's output arena.
+  GroupIterator groups(segments, c);
+  std::string_view key;
+  std::vector<std::string_view> values;
+  while (groups.next(key, values)) {
     c.hash_ops += 1;  // grouping advance per distinct key
-    reducer->reduce(merged[i].key, values, emitter, c);
-    i = j;
+    reducer->reduce(key, values, emitter, c);
   }
 
-  for (const auto& kv : result.output) {
+  for (const auto& ref : result.output.refs) {
     c.output_records += 1;
-    double b = static_cast<double>(kv.bytes());
+    double b = static_cast<double>(ref.bytes());
     c.output_bytes += b;
     c.disk_write_bytes += b;  // HDFS output write
   }
+  c.peak_run_bytes = std::max(c.peak_run_bytes, static_cast<double>(result.output.data.size()));
   return result;
 }
 

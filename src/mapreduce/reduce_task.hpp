@@ -3,23 +3,31 @@
 // keys, run the Reducer, and write job output. Shuffle volume and
 // merge traffic are charged to the reduce task's counters, matching
 // Hadoop's accounting (shuffle time is part of the reduce phase).
+//
+// Zero-copy shuffle: a segment is a RunView — an index of KVRefs into
+// the producing map task's sealed output arena. The group iterator
+// streams globally sorted key groups straight off the cursor heap, so
+// reducer inputs are views into the map-output arenas and the merged
+// intermediate is never materialized.
 #pragma once
 
 #include <vector>
 
 #include "mapreduce/api.hpp"
+#include "mapreduce/arena.hpp"
 #include "mapreduce/counters.hpp"
 #include "mapreduce/kv.hpp"
 
 namespace bvl::mr {
 
 struct ReduceTaskResult {
-  WorkCounters counters;   ///< executed-scale counters
-  std::vector<KV> output;  ///< job output records from this task
+  WorkCounters counters;  ///< executed-scale counters
+  ArenaRun output;        ///< job output records from this task
 };
 
 /// `segments` are the sorted per-map-task slices routed to this
-/// reduce partition; they are consumed.
-ReduceTaskResult run_reduce_task(const JobDefinition& def, std::vector<std::vector<KV>> segments);
+/// reduce partition. The arenas they view (the map outputs) must stay
+/// alive for the duration of the call.
+ReduceTaskResult run_reduce_task(const JobDefinition& def, std::vector<RunView> segments);
 
 }  // namespace bvl::mr

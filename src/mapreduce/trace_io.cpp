@@ -32,7 +32,8 @@ void put(std::ostringstream& out, const std::string& name, bool v) {
   put(out, name, std::string(v ? "1" : "0"));
 }
 
-void put_counters(std::ostringstream& out, const std::string& prefix, const WorkCounters& c) {
+void put_counters(std::ostringstream& out, const std::string& prefix, const WorkCounters& c,
+                  bool include_footprint) {
   put(out, prefix + ".input_records", c.input_records);
   put(out, prefix + ".input_bytes", c.input_bytes);
   put(out, prefix + ".output_records", c.output_records);
@@ -50,21 +51,28 @@ void put_counters(std::ostringstream& out, const std::string& prefix, const Work
   put(out, prefix + ".disk_write_bytes", c.disk_write_bytes);
   put(out, prefix + ".disk_seeks", c.disk_seeks);
   put(out, prefix + ".shuffle_bytes", c.shuffle_bytes);
+  // Diagnostic footprint fields: emitted only on request so the
+  // committed golden fixtures stay byte-stable across arena tuning.
+  if (include_footprint) {
+    put(out, prefix + ".arena_bytes", c.arena_bytes);
+    put(out, prefix + ".peak_run_bytes", c.peak_run_bytes);
+  }
 }
 
-void put_task(std::ostringstream& out, const std::string& prefix, const TaskTrace& t) {
+void put_task(std::ostringstream& out, const std::string& prefix, const TaskTrace& t,
+              bool include_footprint) {
   put(out, prefix + ".logical_bytes", static_cast<std::uint64_t>(t.logical_bytes));
   put(out, prefix + ".attempts", t.attempts);
   put(out, prefix + ".speculated", t.speculated);
   put(out, prefix + ".backoff_s", t.backoff_s);
   put(out, prefix + ".time_factor", t.time_factor);
-  put_counters(out, prefix + ".counters", t.counters);
-  put_counters(out, prefix + ".wasted", t.wasted);
+  put_counters(out, prefix + ".counters", t.counters, include_footprint);
+  put_counters(out, prefix + ".wasted", t.wasted, include_footprint);
 }
 
 }  // namespace
 
-std::string to_text(const JobTrace& trace) {
+std::string to_text(const JobTrace& trace, bool include_footprint) {
   std::ostringstream out;
   put(out, "workload", trace.workload);
   put(out, "config.input_size", static_cast<std::uint64_t>(trace.config.input_size));
@@ -80,13 +88,13 @@ std::string to_text(const JobTrace& trace) {
   put(out, "map_tasks", static_cast<std::uint64_t>(trace.map_tasks.size()));
   put(out, "reduce_tasks", static_cast<std::uint64_t>(trace.reduce_tasks.size()));
   for (std::size_t i = 0; i < trace.map_tasks.size(); ++i) {
-    put_task(out, "map[" + std::to_string(i) + "]", trace.map_tasks[i]);
+    put_task(out, "map[" + std::to_string(i) + "]", trace.map_tasks[i], include_footprint);
   }
   for (std::size_t i = 0; i < trace.reduce_tasks.size(); ++i) {
-    put_task(out, "reduce[" + std::to_string(i) + "]", trace.reduce_tasks[i]);
+    put_task(out, "reduce[" + std::to_string(i) + "]", trace.reduce_tasks[i], include_footprint);
   }
-  put_counters(out, "setup", trace.setup);
-  put_counters(out, "cleanup", trace.cleanup);
+  put_counters(out, "setup", trace.setup, include_footprint);
+  put_counters(out, "cleanup", trace.cleanup, include_footprint);
   return out.str();
 }
 

@@ -18,7 +18,10 @@ namespace bvl::mr {
 /// Serializes `trace` to the canonical line format. Excludes
 /// exec_threads_used (informational; legitimately varies) and the
 /// FaultPlan (input, not output — its effects are in the task fields).
-std::string to_text(const JobTrace& trace);
+/// `include_footprint` additionally emits the diagnostic allocation
+/// counters (arena_bytes, peak_run_bytes); it defaults off so the
+/// committed golden fixtures never depend on arena tuning.
+std::string to_text(const JobTrace& trace, bool include_footprint = false);
 
 /// Compares two serializations line by line; returns an empty string
 /// when equal, otherwise a human-readable description of the first

@@ -49,13 +49,35 @@ ZipfSampler::ZipfSampler(std::size_t n, double s) : cdf_(n), s_(s) {
     cdf_[r] = acc;
   }
   for (auto& c : cdf_) c /= acc;
+
+  // Bucket index: index_[b] is the first rank whose CDF reaches
+  // b/kBuckets, so a draw u in bucket b can only land in
+  // [index_[b], index_[b+1]]. The normalized CDF ends at exactly 1.0,
+  // so every threshold has a qualifying rank.
+  index_.resize(kBuckets + 1);
+  std::size_t r = 0;
+  for (std::size_t b = 0; b <= kBuckets; ++b) {
+    double threshold = static_cast<double>(b) / static_cast<double>(kBuckets);
+    while (cdf_[r] < threshold) ++r;
+    index_[b] = static_cast<std::uint32_t>(r);
+  }
 }
 
 std::size_t ZipfSampler::sample(Pcg32& rng) const {
   double u = rng.next_double();
-  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  if (it == cdf_.end()) return cdf_.size() - 1;
-  return static_cast<std::size_t>(it - cdf_.begin());
+  // Narrow to the draw's bucket, then finish with a branchless
+  // lower_bound (cmov per step — the probe-result branch is
+  // unpredictable by construction). Result is identical to a full
+  // std::lower_bound over the CDF: the first rank with cdf >= u.
+  std::size_t b = static_cast<std::size_t>(u * static_cast<double>(kBuckets));
+  const double* base = cdf_.data() + index_[b];
+  std::size_t n = index_[b + 1] - index_[b] + 1;
+  while (n > 1) {
+    std::size_t half = n / 2;
+    base += (base[half - 1] < u) ? half : 0;
+    n -= half;
+  }
+  return static_cast<std::size_t>(base - cdf_.data());
 }
 
 }  // namespace bvl

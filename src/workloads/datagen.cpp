@@ -20,6 +20,17 @@ std::string pseudo_word(Pcg32& rng) {
   }
   return w;
 }
+
+/// Appends the decimal digits of `v` without allocating.
+void append_number(std::string& out, std::uint64_t v) {
+  char buf[20];
+  int n = 0;
+  do {
+    buf[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) out += buf[--n];
+}
 }  // namespace
 
 Vocabulary::Vocabulary(std::size_t size, std::uint64_t seed) {
@@ -46,8 +57,12 @@ LineSource::LineSource(Bytes target_bytes, std::uint64_t seed)
 
 bool LineSource::next(mr::Record& rec) {
   if (produced_ >= target_) return false;
-  rec.key = std::to_string(line_no_++);
-  rec.value = make_line(rng_);
+  key_buf_.clear();
+  append_number(key_buf_, line_no_++);
+  line_buf_.clear();
+  make_line(rng_, line_buf_);
+  rec.key = key_buf_;
+  rec.value = line_buf_;
   produced_ += rec.bytes();
   return true;
 }
@@ -61,13 +76,11 @@ TextSource::TextSource(Bytes target_bytes, std::uint64_t seed, std::size_t vocab
   require(words_per_line_ > 0, "TextSource: zero words per line");
 }
 
-std::string TextSource::make_line(Pcg32& rng) {
-  std::string line;
+void TextSource::make_line(Pcg32& rng, std::string& line) {
   for (int i = 0; i < words_per_line_; ++i) {
     if (i) line += ' ';
     line += vocab_->word(zipf_.sample(rng));
   }
-  return line;
 }
 
 TableSource::TableSource(Bytes target_bytes, std::uint64_t seed, int key_len, int payload_len)
@@ -75,28 +88,24 @@ TableSource::TableSource(Bytes target_bytes, std::uint64_t seed, int key_len, in
   require(key_len_ > 0 && payload_len_ >= 0, "TableSource: bad field lengths");
 }
 
-std::string TableSource::make_line(Pcg32& rng) {
-  std::string line;
+void TableSource::make_line(Pcg32& rng, std::string& line) {
   line.reserve(static_cast<std::size_t>(key_len_ + payload_len_ + 1));
   for (int i = 0; i < key_len_; ++i)
     line += static_cast<char>('a' + rng.uniform(0, 25));
   line += '\t';
   for (int i = 0; i < payload_len_; ++i)
     line += static_cast<char>('A' + rng.uniform(0, 25));
-  return line;
 }
 
 TeraGenSource::TeraGenSource(Bytes target_bytes, std::uint64_t seed)
     : LineSource(target_bytes, seed) {}
 
-std::string TeraGenSource::make_line(Pcg32& rng) {
-  std::string line;
+void TeraGenSource::make_line(Pcg32& rng, std::string& line) {
   line.reserve(kKeyLen + 1 + kPayloadLen);
   for (int i = 0; i < kKeyLen; ++i)
     line += static_cast<char>(' ' + rng.uniform(0, 94));  // printable ASCII
   line += '\t';
   line.append(kPayloadLen, 'X');
-  return line;
 }
 
 LabeledDocSource::LabeledDocSource(Bytes target_bytes, std::uint64_t seed, int num_labels,
@@ -111,9 +120,10 @@ LabeledDocSource::LabeledDocSource(Bytes target_bytes, std::uint64_t seed, int n
 
 std::string LabeledDocSource::label_name(int label) { return "class" + std::to_string(label); }
 
-std::string LabeledDocSource::make_line(Pcg32& rng) {
+void LabeledDocSource::make_line(Pcg32& rng, std::string& line) {
   int label = static_cast<int>(rng.uniform(0, static_cast<std::uint64_t>(num_labels_ - 1)));
-  std::string line = label_name(label);
+  line += "class";
+  append_number(line, static_cast<std::uint64_t>(label));
   line += '\t';
   for (int i = 0; i < words_per_doc_; ++i) {
     if (i) line += ' ';
@@ -122,7 +132,6 @@ std::string LabeledDocSource::make_line(Pcg32& rng) {
     std::size_t rank = (zipf_.sample(rng) + static_cast<std::size_t>(label) * 37) % vocab_->size();
     line += vocab_->word(rank);
   }
-  return line;
 }
 
 TransactionSource::TransactionSource(Bytes target_bytes, std::uint64_t seed, std::size_t num_items,
@@ -134,7 +143,7 @@ TransactionSource::TransactionSource(Bytes target_bytes, std::uint64_t seed, std
   require(min_items_ >= 1 && max_items_ >= min_items_, "TransactionSource: bad basket bounds");
 }
 
-std::string TransactionSource::make_line(Pcg32& rng) {
+void TransactionSource::make_line(Pcg32& rng, std::string& line) {
   int n = static_cast<int>(
       rng.uniform(static_cast<std::uint64_t>(min_items_), static_cast<std::uint64_t>(max_items_)));
   std::set<std::size_t> basket;  // sorted ascending = descending support
@@ -143,14 +152,12 @@ std::string TransactionSource::make_line(Pcg32& rng) {
     basket.insert(zipf_.sample(rng));
     ++attempts;
   }
-  std::string line;
   bool first = true;
   for (std::size_t item : basket) {
     if (!first) line += ' ';
-    line += std::to_string(item);
+    append_number(line, item);
     first = false;
   }
-  return line;
 }
 
 }  // namespace bvl::wl

@@ -33,7 +33,10 @@ class Vocabulary {
 };
 
 /// Base for generated split sources: subclasses produce one line per
-/// next() until the byte target is met.
+/// next() until the byte target is met. The Record handed out views
+/// this source's reusable line buffers (valid until the following
+/// next() call), so steady-state record reading performs no heap
+/// allocations.
 class LineSource : public mr::SplitSource {
  public:
   LineSource(Bytes target_bytes, std::uint64_t seed);
@@ -41,13 +44,16 @@ class LineSource : public mr::SplitSource {
   bool next(mr::Record& rec) final;
 
  protected:
-  virtual std::string make_line(Pcg32& rng) = 0;
+  /// Appends the next line's bytes to `line` (already cleared).
+  virtual void make_line(Pcg32& rng, std::string& line) = 0;
 
  private:
   Bytes target_;
   Bytes produced_ = 0;
   std::uint64_t line_no_ = 0;
   Pcg32 rng_;
+  std::string key_buf_;
+  std::string line_buf_;
 };
 
 /// Zipf text: lines of `words_per_line` words drawn from a shared
@@ -58,7 +64,7 @@ class TextSource final : public LineSource {
              double zipf_s = 1.05, int words_per_line = 10);
 
  protected:
-  std::string make_line(Pcg32& rng) override;
+  void make_line(Pcg32& rng, std::string& line) override;
 
  private:
   std::shared_ptr<const Vocabulary> vocab_;
@@ -72,7 +78,7 @@ class TableSource final : public LineSource {
   TableSource(Bytes target_bytes, std::uint64_t seed, int key_len = 12, int payload_len = 80);
 
  protected:
-  std::string make_line(Pcg32& rng) override;
+  void make_line(Pcg32& rng, std::string& line) override;
 
  private:
   int key_len_;
@@ -87,7 +93,7 @@ class TeraGenSource final : public LineSource {
   static constexpr int kPayloadLen = 88;
 
  protected:
-  std::string make_line(Pcg32& rng) override;
+  void make_line(Pcg32& rng, std::string& line) override;
 };
 
 /// Labeled documents "label\tword word ..." for Naive Bayes. Word
@@ -100,7 +106,7 @@ class LabeledDocSource final : public LineSource {
   static std::string label_name(int label);
 
  protected:
-  std::string make_line(Pcg32& rng) override;
+  void make_line(Pcg32& rng, std::string& line) override;
 
  private:
   std::shared_ptr<const Vocabulary> vocab_;
@@ -118,7 +124,7 @@ class TransactionSource final : public LineSource {
                     double zipf_s = 1.1, int min_items = 4, int max_items = 14);
 
  protected:
-  std::string make_line(Pcg32& rng) override;
+  void make_line(Pcg32& rng, std::string& line) override;
 
  private:
   ZipfSampler zipf_;

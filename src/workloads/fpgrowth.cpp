@@ -41,7 +41,7 @@ class PfpMapper final : public mr::Mapper {
         if (j) prefix += ' ';
         prefix += std::to_string(t[j]);
       }
-      out.emit("g" + std::to_string(g), std::move(prefix));
+      out.emit("g" + std::to_string(g), prefix);
       c.compute_units += static_cast<double>(i + 1);
     }
   }
@@ -54,7 +54,7 @@ class PfpReducer final : public mr::Reducer {
  public:
   explicit PfpReducer(int min_support_per_mille) : per_mille_(min_support_per_mille) {}
 
-  void reduce(const std::string& key, const std::vector<std::string>& values, mr::Emitter& out,
+  void reduce(std::string_view key, const std::vector<std::string_view>& values, mr::Emitter& out,
               mr::WorkCounters& c) override {
     std::uint64_t min_support = std::max<std::uint64_t>(
         2, static_cast<std::uint64_t>(values.size()) * static_cast<std::uint64_t>(per_mille_) /
@@ -78,7 +78,7 @@ class PfpReducer final : public mr::Reducer {
         if (j) items += ' ';
         items += std::to_string(patterns[i].items[j]);
       }
-      out.emit(key + ":" + items, std::to_string(patterns[i].support));
+      out.emit(std::string(key) + ":" + items, std::to_string(patterns[i].support));
     }
   }
 

@@ -81,7 +81,7 @@ void FpTree::mine_rec(std::vector<Item>& suffix, std::vector<Pattern>& out, std:
   }
 }
 
-Transaction parse_transaction(const std::string& line) {
+Transaction parse_transaction(std::string_view line) {
   Transaction t;
   const char* p = line.data();
   const char* end = p + line.size();

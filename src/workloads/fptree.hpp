@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 namespace bvl::wl {
@@ -58,6 +59,6 @@ class FpTree {
 };
 
 /// Parses "3 17 42" into a Transaction; non-numeric tokens skipped.
-Transaction parse_transaction(const std::string& line);
+Transaction parse_transaction(std::string_view line);
 
 }  // namespace bvl::wl

@@ -16,7 +16,7 @@ class GrepMapper final : public mr::Mapper {
     // The search phase: every byte of the line is scanned.
     c.token_ops += static_cast<double>(rec.value.size()) / 8.0;
     for_each_token(rec.value, [&](std::string_view tok) {
-      if (tok.find(pattern_) != std::string_view::npos) out.emit(std::string(tok), "1");
+      if (tok.find(pattern_) != std::string_view::npos) out.emit(tok, "1");
     });
   }
 

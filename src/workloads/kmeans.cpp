@@ -21,9 +21,8 @@ class PointSource final : public LineSource {
       : LineSource(target_bytes, seed), k_(k), dims_(dims) {}
 
  protected:
-  std::string make_line(Pcg32& rng) override {
+  void make_line(Pcg32& rng, std::string& line) override {
     int blob = static_cast<int>(rng.uniform(0, static_cast<std::uint64_t>(k_ - 1)));
-    std::string line;
     for (int d = 0; d < dims_; ++d) {
       if (d) line += ' ';
       // Blob centers on a lattice; triangular noise around them.
@@ -33,7 +32,6 @@ class PointSource final : public LineSource {
       std::snprintf(buf, sizeof buf, "%.3f", center + noise);
       line += buf;
     }
-    return line;
   }
 
  private:
@@ -89,7 +87,7 @@ class CentroidFold final : public mr::Reducer {
  public:
   CentroidFold(int dims, bool final_stage) : dims_(dims), final_(final_stage) {}
 
-  void reduce(const std::string& key, const std::vector<std::string>& values, mr::Emitter& out,
+  void reduce(std::string_view key, const std::vector<std::string_view>& values, mr::Emitter& out,
               mr::WorkCounters& c) override {
     std::vector<double> acc(static_cast<std::size_t>(dims_), 0.0);
     double weight = 0;
@@ -120,16 +118,18 @@ class CentroidFold final : public mr::Reducer {
 
 }  // namespace
 
-std::vector<double> parse_point(const std::string& line, int dims) {
+std::vector<double> parse_point(std::string_view line, int dims) {
   std::vector<double> p;
   p.reserve(static_cast<std::size_t>(dims));
   const char* cur = line.data();
   const char* end = cur + line.size();
   while (cur < end && static_cast<int>(p.size()) < dims) {
     while (cur < end && *cur == ' ') ++cur;
-    char* next = nullptr;
-    double v = std::strtod(cur, &next);
-    if (next == cur) break;
+    double v = 0;
+    // from_chars works on the [cur, end) range directly, so views into
+    // a larger buffer parse safely without a NUL terminator.
+    auto [next, ec] = std::from_chars(cur, end, v);
+    if (ec != std::errc() || next == cur) break;
     p.push_back(v);
     cur = next;
   }

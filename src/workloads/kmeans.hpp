@@ -40,6 +40,6 @@ class KMeansJob final : public mr::JobDefinition {
 
 /// Parses "v0 v1 ... v(d-1)" into a point; wrong-arity lines yield an
 /// empty vector.
-std::vector<double> parse_point(const std::string& line, int dims);
+std::vector<double> parse_point(std::string_view line, int dims);
 
 }  // namespace bvl::wl

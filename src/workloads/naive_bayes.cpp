@@ -15,17 +15,26 @@ class NbMapper final : public mr::Mapper {
  public:
   void map(const mr::Record& rec, mr::Emitter& out, mr::WorkCounters& c) override {
     std::size_t tab = rec.value.find('\t');
-    if (tab == std::string::npos) return;
-    std::string label = rec.value.substr(0, tab);
-    std::string_view body(rec.value);
-    body.remove_prefix(tab + 1);
-    out.emit(label + "|" + NaiveBayesJob::kDocCountKey, "1");
+    if (tab == std::string_view::npos) return;
+    std::string_view body = rec.value.substr(tab + 1);
+    // Compose "label|token" keys in a reusable buffer; the emitter
+    // copies into the arena before the next emit reuses it.
+    key_.assign(rec.value.data(), tab);
+    key_ += '|';
+    const std::size_t stem = key_.size();
+    key_ += NaiveBayesJob::kDocCountKey;
+    out.emit(key_, "1");
     for_each_token(body, [&](std::string_view tok) {
       c.token_ops += 1;
       c.compute_units += 1;  // per-feature model update work
-      out.emit(label + "|" + std::string(tok), "1");
+      key_.resize(stem);
+      key_.append(tok.data(), tok.size());
+      out.emit(key_, "1");
     });
   }
+
+ private:
+  std::string key_;
 };
 }  // namespace
 

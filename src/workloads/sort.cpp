@@ -12,7 +12,7 @@ class SortMapper final : public mr::Mapper {
     // spill/merge path produces sorted output.
     std::size_t tab = rec.value.find('\t');
     c.token_ops += 1;
-    if (tab == std::string::npos) {
+    if (tab == std::string_view::npos) {
       out.emit(rec.value, "");
       return;
     }

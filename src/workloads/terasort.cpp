@@ -13,7 +13,7 @@ class TeraMapper final : public mr::Mapper {
   void map(const mr::Record& rec, mr::Emitter& out, mr::WorkCounters& c) override {
     std::size_t tab = rec.value.find('\t');
     c.token_ops += 1;
-    if (tab == std::string::npos) {
+    if (tab == std::string_view::npos) {
       out.emit(rec.value, "");
       return;
     }
@@ -23,7 +23,7 @@ class TeraMapper final : public mr::Mapper {
 
 class IdentityReducer final : public mr::Reducer {
  public:
-  void reduce(const std::string& key, const std::vector<std::string>& values, mr::Emitter& out,
+  void reduce(std::string_view key, const std::vector<std::string_view>& values, mr::Emitter& out,
               mr::WorkCounters& c) override {
     for (const auto& v : values) {
       c.compute_units += 1;
@@ -61,7 +61,7 @@ void TeraSortJob::prepare(Bytes exec_bytes, std::uint64_t seed, mr::WorkCounters
   mr::Record rec;
   while (keys.size() < sample_records_ && source.next(rec)) {
     std::size_t tab = rec.value.find('\t');
-    keys.push_back(tab == std::string::npos ? rec.value : rec.value.substr(0, tab));
+    keys.emplace_back(tab == std::string_view::npos ? rec.value : rec.value.substr(0, tab));
     c.input_records += 1;
     c.input_bytes += static_cast<double>(rec.bytes());
     c.disk_read_bytes += static_cast<double>(rec.bytes());

@@ -13,13 +13,13 @@ class WordCountMapper final : public mr::Mapper {
   void map(const mr::Record& rec, mr::Emitter& out, mr::WorkCounters& c) override {
     for_each_token(rec.value, [&](std::string_view tok) {
       c.token_ops += 1;
-      out.emit(std::string(tok), "1");
+      out.emit(tok, "1");
     });
   }
 };
 }  // namespace
 
-void SumReducer::reduce(const std::string& key, const std::vector<std::string>& values,
+void SumReducer::reduce(std::string_view key, const std::vector<std::string_view>& values,
                         mr::Emitter& out, mr::WorkCounters& c) {
   long long sum = 0;
   for (const auto& v : values) {

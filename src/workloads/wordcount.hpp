@@ -19,7 +19,7 @@ class WordCountJob final : public mr::JobDefinition {
 /// Integer-sum reducer shared by WordCount, Grep and Naive Bayes.
 class SumReducer final : public mr::Reducer {
  public:
-  void reduce(const std::string& key, const std::vector<std::string>& values, mr::Emitter& out,
+  void reduce(std::string_view key, const std::vector<std::string_view>& values, mr::Emitter& out,
               mr::WorkCounters& c) override;
 };
 

@@ -1,0 +1,223 @@
+// KVArena unit and fuzz coverage: the arena is the foundation the
+// whole zero-copy intermediate path stands on, so this file checks the
+// parts the end-to-end suites would only catch indirectly — payload
+// round-trips, the prefix-accelerated comparator agreeing with plain
+// string order on adversarial keys, move semantics, growth, the
+// record-size guard, and the exact-threshold spill edge in
+// MapOutputCollector.
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/arena.hpp"
+#include "mapreduce/counters.hpp"
+#include "mapreduce/map_task.hpp"
+#include "mapreduce/merge.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bvl::mr {
+namespace {
+
+TEST(KVArena, RoundTripsPayloadsIncludingEdgeLengths) {
+  KVArena a;
+  // Lengths straddling the 8-byte prefix boundary, empties, and
+  // embedded NULs — the cases the prefix cache could get wrong.
+  std::vector<std::pair<std::string, std::string>> recs = {
+      {"", ""},
+      {"", "value-for-empty-key"},
+      {"k", ""},
+      {"1234567", "seven"},
+      {"12345678", "eight"},
+      {"123456789", "nine"},
+      {std::string("nul\0key", 7), std::string("nul\0val", 7)},
+  };
+  std::vector<KVRef> refs;
+  for (const auto& [k, v] : recs) refs.push_back(a.append(k, v));
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(a.key(refs[i]), recs[i].first) << "record " << i;
+    EXPECT_EQ(a.value(refs[i]), recs[i].second) << "record " << i;
+  }
+}
+
+// Generates a key that is adversarial for the prefix cache: short and
+// long, shared stems, extreme bytes (0x00 and 0xFF), near the 8-byte
+// boundary.
+std::string fuzz_key(Pcg32& rng) {
+  static const std::string stems[] = {"", "aaaaaaaa", "aaaaaaa", "zzzz", "\xff\xff\xff\xff"};
+  std::string k = stems[rng.uniform(0, 4)];
+  std::size_t len = rng.uniform(0, 12);
+  for (std::size_t i = 0; i < len; ++i) {
+    static const char alphabet[] = {'\0', 'a', 'b', '\x7f', '\xff'};
+    k += alphabet[rng.uniform(0, 4)];
+  }
+  return k;
+}
+
+TEST(KVArena, RefOrderMatchesStringOrderOnAdversarialKeys) {
+  Pcg32 rng(7);
+  KVArena a;
+  std::vector<std::string> keys;
+  std::vector<KVRef> refs;
+  for (int i = 0; i < 512; ++i) {
+    keys.push_back(fuzz_key(rng));
+    refs.push_back(a.append(keys.back(), "v"));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (std::size_t j = 0; j < keys.size(); ++j) {
+      ASSERT_EQ(ref_key_less(a, refs[i], a, refs[j]), keys[i] < keys[j])
+          << "less mismatch: " << testing::PrintToString(keys[i]) << " vs "
+          << testing::PrintToString(keys[j]);
+      ASSERT_EQ(ref_key_eq(a, refs[i], a, refs[j]), keys[i] == keys[j])
+          << "eq mismatch: " << testing::PrintToString(keys[i]) << " vs "
+          << testing::PrintToString(keys[j]);
+    }
+  }
+}
+
+TEST(KVArena, SortedRunMatchesStableSortOfOwningPairs) {
+  Pcg32 rng(11);
+  ArenaRun run;
+  std::vector<std::pair<std::string, std::string>> expected;
+  for (int i = 0; i < 4000; ++i) {
+    std::string k = fuzz_key(rng);
+    std::string v = std::to_string(i);  // unique: witnesses stability
+    run.refs.push_back(run.data.append(k, v));
+    expected.emplace_back(std::move(k), std::move(v));
+  }
+  WorkCounters c;
+  counting_sort_run(run, c);
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  ASSERT_EQ(run.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(run.key(i), expected[i].first) << "at " << i;
+    ASSERT_EQ(run.value(i), expected[i].second) << "stability violated at " << i;
+  }
+  EXPECT_GT(c.compares, 0.0);
+}
+
+TEST(KVArena, MergePreservesEveryRecordInSortedOrder) {
+  Pcg32 rng(13);
+  std::vector<ArenaRun> runs(3);
+  std::vector<std::pair<std::string, std::string>> all;
+  for (int i = 0; i < 900; ++i) {
+    std::string k = fuzz_key(rng);
+    std::string v = std::to_string(i);
+    auto& r = runs[static_cast<std::size_t>(i) % 3];
+    r.refs.push_back(r.data.append(k, v));
+    all.emplace_back(std::move(k), std::move(v));
+  }
+  WorkCounters c;
+  for (auto& r : runs) counting_sort_run(r, c);
+  ArenaRun merged = merge_runs(std::move(runs), c);
+  ASSERT_EQ(merged.size(), all.size());
+  ASSERT_TRUE(is_sorted_run(merged));
+  // Ties across runs are heap-order, so compare as multisets.
+  std::vector<std::pair<std::string, std::string>> got;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    got.emplace_back(std::string(merged.key(i)), std::string(merged.value(i)));
+  }
+  std::sort(got.begin(), got.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(got, all);
+}
+
+TEST(KVArena, EmptyAndSingleRecordRuns) {
+  WorkCounters c;
+  EXPECT_TRUE(merge_runs({}, c).empty());
+
+  std::vector<ArenaRun> one_empty(1);
+  EXPECT_TRUE(merge_runs(std::move(one_empty), c).empty());
+
+  std::vector<ArenaRun> singles(2);
+  singles[0].refs.push_back(singles[0].data.append("b", "2"));
+  singles[1].refs.push_back(singles[1].data.append("a", "1"));
+  ArenaRun merged = merge_runs(std::move(singles), c);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.key(0), "a");
+  EXPECT_EQ(merged.key(1), "b");
+
+  ArenaRun empty_run;
+  counting_sort_run(empty_run, c);
+  EXPECT_TRUE(empty_run.empty());
+
+  std::vector<RunView> no_segments;
+  GroupIterator it(no_segments, c);
+  std::string_view key;
+  std::vector<std::string_view> values;
+  EXPECT_FALSE(it.next(key, values));
+}
+
+TEST(KVArena, MoveTransfersPayloadAndEmptiesSource) {
+  KVArena a;
+  KVRef r = a.append("key", "value");
+  KVArena b = std::move(a);
+  EXPECT_EQ(b.key(r), "key");
+  EXPECT_EQ(b.value(r), "value");
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): moved-from state is the contract
+  EXPECT_EQ(a.size(), 0u);
+  // The moved-from arena must be reusable as a fresh buffer.
+  KVRef r2 = a.append("x", "y");
+  EXPECT_EQ(a.key(r2), "x");
+}
+
+TEST(KVArena, GrowthPreservesContentAndResetKeepsCapacity) {
+  KVArena a(16);
+  std::vector<KVRef> refs;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 200; ++i) {
+    keys.push_back("key-" + std::to_string(i));
+    refs.push_back(a.append(keys.back(), "some value payload"));
+  }
+  for (std::size_t i = 0; i < refs.size(); ++i) ASSERT_EQ(a.key(refs[i]), keys[i]);
+  std::size_t cap = a.capacity();
+  EXPECT_GE(cap, a.size());
+  a.reset();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.capacity(), cap);
+}
+
+TEST(KVArena, RejectsRecordsOverTheIndexLimit) {
+  KVArena a;
+  std::string big(70 * 1024, 'x');
+  EXPECT_THROW(a.append("k", big), Error);
+  EXPECT_THROW(a.append(big, "v"), Error);
+  // 64 KiB minus one on each side still fits the 16-bit lengths.
+  std::string max(0xFFFF, 'y');
+  KVRef r = a.append(max, max);
+  EXPECT_EQ(a.key(r).size(), max.size());
+  EXPECT_EQ(a.value(r).size(), max.size());
+}
+
+TEST(MapOutputCollector, SpillsExactlyAtThreshold) {
+  // Each record is key "k" (1) + 3-byte value + 8 framing = 12 bytes;
+  // threshold 24 means the second emit lands exactly on the boundary
+  // and must spill (>=, like io.sort.mb's soft limit), the third emit
+  // starts a fresh buffer.
+  WorkCounters c;
+  MapOutputCollector col(24, nullptr, c);
+  col.emit("k", "v01");
+  EXPECT_EQ(c.spills, 0.0);
+  col.emit("k", "v02");
+  EXPECT_EQ(c.spills, 1.0);
+  col.emit("k", "v03");
+  EXPECT_EQ(c.spills, 1.0);
+  ArenaRun out = col.close();
+  EXPECT_EQ(c.spills, 2.0);
+  ASSERT_EQ(out.size(), 3u);
+  std::vector<std::string> vals;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.key(i), "k");
+    vals.emplace_back(out.value(i));
+  }
+  std::sort(vals.begin(), vals.end());
+  EXPECT_EQ(vals, (std::vector<std::string>{"v01", "v02", "v03"}));
+}
+
+}  // namespace
+}  // namespace bvl::mr

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <charconv>
+#include <cstdio>
 
 #include "mapreduce/merge.hpp"
 #include "util/error.hpp"
@@ -16,8 +17,12 @@ class CountingSource final : public SplitSource {
   CountingSource(int n, int key_mod) : n_(n), key_mod_(key_mod) {}
   bool next(Record& rec) override {
     if (i_ >= n_) return false;
-    rec.key = std::to_string(i_);
-    rec.value = "k" + std::to_string(i_ % key_mod_);
+    key_buf_ = std::to_string(i_);
+    char val[16];
+    std::snprintf(val, sizeof val, "k%d", i_ % key_mod_);
+    val_buf_ = val;
+    rec.key = key_buf_;
+    rec.value = val_buf_;
     ++i_;
     return true;
   }
@@ -26,6 +31,8 @@ class CountingSource final : public SplitSource {
   int n_;
   int key_mod_;
   int i_ = 0;
+  std::string key_buf_;
+  std::string val_buf_;
 };
 
 class EchoMapper final : public Mapper {
@@ -38,7 +45,7 @@ class EchoMapper final : public Mapper {
 
 class SumCombiner final : public Reducer {
  public:
-  void reduce(const std::string& key, const std::vector<std::string>& values, Emitter& out,
+  void reduce(std::string_view key, const std::vector<std::string_view>& values, Emitter& out,
               WorkCounters& c) override {
     long long sum = 0;
     for (const auto& v : values) {
@@ -72,7 +79,11 @@ class TestJob final : public JobDefinition {
 TEST(MapOutputCollector, SpillsWhenBufferExceeded) {
   WorkCounters c;
   MapOutputCollector col(64, nullptr, c);  // tiny 64-byte buffer
-  for (int i = 0; i < 20; ++i) col.emit("key" + std::to_string(i), "value");
+  for (int i = 0; i < 20; ++i) {
+    std::string k = "key";
+    k += std::to_string(i);
+    col.emit(k, "value");
+  }
   auto out = col.close();
   EXPECT_GT(col.spill_count(), 1u);
   EXPECT_EQ(out.size(), 20u);
@@ -85,7 +96,11 @@ TEST(MapOutputCollector, SpillsWhenBufferExceeded) {
 TEST(MapOutputCollector, SingleSpillAvoidsMergeTraffic) {
   WorkCounters c;
   MapOutputCollector col(1 * MB, nullptr, c);
-  for (int i = 0; i < 10; ++i) col.emit("k" + std::to_string(i), "v");
+  for (int i = 0; i < 10; ++i) {
+    std::string k = "k";
+    k += std::to_string(i);
+    col.emit(k, "v");
+  }
   auto out = col.close();
   EXPECT_EQ(col.spill_count(), 1u);
   EXPECT_DOUBLE_EQ(c.merge_read_bytes, 0.0);
@@ -96,10 +111,14 @@ TEST(MapOutputCollector, CombinerCollapsesDuplicates) {
   WorkCounters c;
   SumCombiner combiner;
   MapOutputCollector col(1 * MB, &combiner, c);
-  for (int i = 0; i < 30; ++i) col.emit("k" + std::to_string(i % 3), "1");
+  for (int i = 0; i < 30; ++i) {
+    std::string k = "k";
+    k += std::to_string(i % 3);
+    col.emit(k, "1");
+  }
   auto out = col.close();
   ASSERT_EQ(out.size(), 3u);
-  for (const auto& kv : out) EXPECT_EQ(kv.value, "10");
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out.value(i), "10");
 }
 
 TEST(MapOutputCollector, EmptyInputYieldsEmptyOutput) {
@@ -122,7 +141,7 @@ TEST(RunMapTask, CountsRecordFlowExactly) {
   EXPECT_DOUBLE_EQ(r.counters.emits, 100);
   // Combined output: 10 distinct keys, each summing to 10.
   ASSERT_EQ(r.output.size(), 10u);
-  for (const auto& kv : r.output) EXPECT_EQ(kv.value, "10");
+  for (std::size_t i = 0; i < r.output.size(); ++i) EXPECT_EQ(r.output.value(i), "10");
   EXPECT_GT(r.counters.disk_read_bytes, 0);  // HDFS block read accounted
 }
 
@@ -142,8 +161,10 @@ TEST(RunMapTask, CombinerOutputInvariantToSpillCount) {
   // Each spill combines independently, so the small-buffer run may
   // carry a key in several runs — but the per-key totals must agree.
   long long total_small = 0, total_big = 0;
-  for (const auto& kv : small_buf.output) total_small += std::stoll(kv.value);
-  for (const auto& kv : big_buf.output) total_big += std::stoll(kv.value);
+  for (std::size_t i = 0; i < small_buf.output.size(); ++i)
+    total_small += std::stoll(std::string(small_buf.output.value(i)));
+  for (std::size_t i = 0; i < big_buf.output.size(); ++i)
+    total_big += std::stoll(std::string(big_buf.output.value(i)));
   EXPECT_EQ(total_small, total_big);
   EXPECT_GT(small_buf.counters.spills, big_buf.counters.spills);
 }

@@ -5,25 +5,31 @@
 namespace bvl::mr {
 namespace {
 
-std::vector<KV> run_of(std::initializer_list<const char*> keys) {
-  std::vector<KV> r;
-  for (const char* k : keys) r.push_back({k, "v"});
+ArenaRun run_of(std::initializer_list<const char*> keys) {
+  ArenaRun r;
+  for (const char* k : keys) r.refs.push_back(r.data.append(k, "v"));
   return r;
+}
+
+std::vector<ArenaRun> runs_of(std::initializer_list<std::initializer_list<const char*>> runs) {
+  std::vector<ArenaRun> out;
+  for (const auto& keys : runs) out.push_back(run_of(keys));
+  return out;
 }
 
 TEST(MergeRuns, ProducesSortedUnion) {
   WorkCounters c;
-  auto out = merge_runs({run_of({"a", "d", "g"}), run_of({"b", "e"}), run_of({"c", "f"})}, c);
+  auto out = merge_runs(runs_of({{"a", "d", "g"}, {"b", "e"}, {"c", "f"}}), c);
   ASSERT_EQ(out.size(), 7u);
   EXPECT_TRUE(is_sorted_run(out));
-  EXPECT_EQ(out.front().key, "a");
-  EXPECT_EQ(out.back().key, "g");
+  EXPECT_EQ(out.key(0), "a");
+  EXPECT_EQ(out.key(out.size() - 1), "g");
   EXPECT_GT(c.compares, 0);
 }
 
 TEST(MergeRuns, SingleRunIsFreeOfCompares) {
   WorkCounters c;
-  auto out = merge_runs({run_of({"a", "b"})}, c);
+  auto out = merge_runs(runs_of({{"a", "b"}}), c);
   EXPECT_EQ(out.size(), 2u);
   EXPECT_DOUBLE_EQ(c.compares, 0.0);
 }
@@ -31,24 +37,26 @@ TEST(MergeRuns, SingleRunIsFreeOfCompares) {
 TEST(MergeRuns, EmptyAndAllEmptyRuns) {
   WorkCounters c;
   EXPECT_TRUE(merge_runs({}, c).empty());
-  EXPECT_TRUE(merge_runs({{}, {}}, c).empty());
+  std::vector<ArenaRun> two_empty(2);
+  EXPECT_TRUE(merge_runs(std::move(two_empty), c).empty());
 }
 
 TEST(MergeRuns, DuplicateKeysAllSurvive) {
   WorkCounters c;
-  auto out = merge_runs({run_of({"a", "a"}), run_of({"a"})}, c);
-  EXPECT_EQ(out.size(), 3u);
-  for (const auto& kv : out) EXPECT_EQ(kv.key, "a");
+  auto out = merge_runs(runs_of({{"a", "a"}, {"a"}}), c);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out.key(i), "a");
 }
 
 TEST(MergeRuns, CompareCountScalesWithRunCount) {
   // n log k behaviour: same total elements, more runs -> more compares.
   WorkCounters c2, c8;
   {
-    std::vector<std::vector<KV>> two;
+    std::vector<ArenaRun> two;
     for (int r = 0; r < 2; ++r) {
-      std::vector<KV> run;
-      for (int i = 0; i < 64; ++i) run.push_back({std::to_string(i * 2 + r), "v"});
+      ArenaRun run;
+      for (int i = 0; i < 64; ++i)
+        run.refs.push_back(run.data.append(std::to_string(i * 2 + r), "v"));
       counting_sort_run(run, c2);
       two.push_back(std::move(run));
     }
@@ -56,10 +64,11 @@ TEST(MergeRuns, CompareCountScalesWithRunCount) {
     merge_runs(std::move(two), c2);
   }
   {
-    std::vector<std::vector<KV>> eight;
+    std::vector<ArenaRun> eight;
     for (int r = 0; r < 8; ++r) {
-      std::vector<KV> run;
-      for (int i = 0; i < 16; ++i) run.push_back({std::to_string(i * 8 + r), "v"});
+      ArenaRun run;
+      for (int i = 0; i < 16; ++i)
+        run.refs.push_back(run.data.append(std::to_string(i * 8 + r), "v"));
       counting_sort_run(run, c8);
       eight.push_back(std::move(run));
     }
@@ -69,9 +78,29 @@ TEST(MergeRuns, CompareCountScalesWithRunCount) {
   EXPECT_GT(c8.compares, c2.compares);
 }
 
+TEST(MergeRuns, PayloadsSurviveTheMove) {
+  // Values must arrive in the output arena intact, keyed correctly.
+  WorkCounters c;
+  ArenaRun a, b;
+  a.refs.push_back(a.data.append("apple", "red"));
+  a.refs.push_back(a.data.append("cherry", "dark"));
+  b.refs.push_back(b.data.append("banana", "yellow"));
+  std::vector<ArenaRun> runs;
+  runs.push_back(std::move(a));
+  runs.push_back(std::move(b));
+  auto out = merge_runs(std::move(runs), c);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.key(0), "apple");
+  EXPECT_EQ(out.value(0), "red");
+  EXPECT_EQ(out.key(1), "banana");
+  EXPECT_EQ(out.value(1), "yellow");
+  EXPECT_EQ(out.key(2), "cherry");
+  EXPECT_EQ(out.value(2), "dark");
+}
+
 TEST(CountingSort, SortsAndCounts) {
   WorkCounters c;
-  std::vector<KV> run = run_of({"d", "a", "c", "b"});
+  ArenaRun run = run_of({"d", "a", "c", "b"});
   counting_sort_run(run, c);
   EXPECT_TRUE(is_sorted_run(run));
   EXPECT_GT(c.compares, 0);
@@ -79,15 +108,68 @@ TEST(CountingSort, SortsAndCounts) {
 
 TEST(CountingSort, StableForEqualKeys) {
   WorkCounters c;
-  std::vector<KV> run{{"k", "first"}, {"k", "second"}};
+  ArenaRun run;
+  run.refs.push_back(run.data.append("k", "first"));
+  run.refs.push_back(run.data.append("k", "second"));
   counting_sort_run(run, c);
-  EXPECT_EQ(run[0].value, "first");
-  EXPECT_EQ(run[1].value, "second");
+  EXPECT_EQ(run.value(0), "first");
+  EXPECT_EQ(run.value(1), "second");
 }
 
 TEST(RunBytes, CountsFraming) {
-  std::vector<KV> run{{"ab", "cd"}};
+  ArenaRun run;
+  run.refs.push_back(run.data.append("ab", "cd"));
   EXPECT_DOUBLE_EQ(run_bytes(run), 4.0 + KV::kFramingBytes);
+}
+
+TEST(GroupIterator, GroupsEqualKeysAcrossSegments) {
+  WorkCounters c;
+  ArenaRun a = run_of({"a", "b"});
+  ArenaRun b = run_of({"a", "c"});
+  std::vector<RunView> segments{view_of(a), view_of(b)};
+  GroupIterator it(segments, c);
+  std::string_view key;
+  std::vector<std::string_view> values;
+  ASSERT_TRUE(it.next(key, values));
+  EXPECT_EQ(key, "a");
+  EXPECT_EQ(values.size(), 2u);
+  ASSERT_TRUE(it.next(key, values));
+  EXPECT_EQ(key, "b");
+  EXPECT_EQ(values.size(), 1u);
+  ASSERT_TRUE(it.next(key, values));
+  EXPECT_EQ(key, "c");
+  EXPECT_FALSE(it.next(key, values));
+}
+
+TEST(GroupIterator, ChargesComparesLikeMergeRuns) {
+  // The streaming reduce-side iterator must charge the exact compare
+  // count the materializing merge charges over the same segments —
+  // that equivalence is what keeps the golden traces bit-identical.
+  auto build = [](int stride, int offset) {
+    ArenaRun run;
+    for (int i = 0; i < 32; ++i)
+      run.refs.push_back(run.data.append(std::to_string(1000 + i * stride + offset), "v"));
+    return run;
+  };
+  std::vector<ArenaRun> runs;
+  runs.push_back(build(3, 0));
+  runs.push_back(build(3, 1));
+  runs.push_back(build(3, 2));
+
+  WorkCounters c_stream;
+  std::vector<RunView> segments;
+  segments.reserve(runs.size());
+  for (const auto& r : runs) segments.push_back(view_of(r));
+  GroupIterator it(segments, c_stream);
+  std::string_view key;
+  std::vector<std::string_view> values;
+  std::size_t total = 0;
+  while (it.next(key, values)) total += values.size();
+  EXPECT_EQ(total, 96u);
+
+  WorkCounters c_merge;
+  merge_runs(std::move(runs), c_merge);
+  EXPECT_DOUBLE_EQ(c_stream.compares, c_merge.compares);
 }
 
 }  // namespace

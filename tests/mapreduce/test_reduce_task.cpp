@@ -19,7 +19,7 @@ class SumJob final : public JobDefinition {
   std::unique_ptr<Reducer> make_reducer() const override {
     class Sum final : public Reducer {
      public:
-      void reduce(const std::string& key, const std::vector<std::string>& values, Emitter& out,
+      void reduce(std::string_view key, const std::vector<std::string_view>& values, Emitter& out,
                   WorkCounters& c) override {
         long long s = 0;
         for (const auto& v : values) {
@@ -44,30 +44,52 @@ class MapOnlyJob final : public JobDefinition {
   std::unique_ptr<Mapper> make_mapper() const override { return nullptr; }
 };
 
-std::vector<KV> seg(std::initializer_list<std::pair<const char*, const char*>> kvs) {
-  std::vector<KV> out;
-  for (auto [k, v] : kvs) out.push_back({k, v});
-  return out;
-}
+/// Owns the arenas backing a set of shuffle segments; run_reduce_task
+/// consumes views, so the fixture keeps the payloads alive.
+struct Segments {
+  std::vector<ArenaRun> owned;
+
+  Segments& add(std::initializer_list<std::pair<const char*, const char*>> kvs) {
+    ArenaRun run;
+    for (auto [k, v] : kvs) run.refs.push_back(run.data.append(k, v));
+    owned.push_back(std::move(run));
+    return *this;
+  }
+
+  std::vector<RunView> views() const {
+    std::vector<RunView> out;
+    out.reserve(owned.size());
+    for (const auto& r : owned) out.push_back(view_of(r));
+    return out;
+  }
+
+  double bytes() const {
+    double total = 0;
+    for (const auto& r : owned)
+      for (const auto& ref : r.refs) total += static_cast<double>(ref.bytes());
+    return total;
+  }
+};
 
 TEST(ReduceTask, GroupsAcrossSegments) {
   SumJob job;
   // Two sorted segments sharing keys: values must merge per key.
-  auto r = run_reduce_task(job, {seg({{"a", "1"}, {"b", "2"}}), seg({{"a", "3"}, {"c", "4"}})});
+  Segments segs;
+  segs.add({{"a", "1"}, {"b", "2"}}).add({{"a", "3"}, {"c", "4"}});
+  auto r = run_reduce_task(job, segs.views());
   ASSERT_EQ(r.output.size(), 3u);
-  EXPECT_EQ(r.output[0].key, "a");
-  EXPECT_EQ(r.output[0].value, "4");
-  EXPECT_EQ(r.output[1].value, "2");
-  EXPECT_EQ(r.output[2].value, "4");
+  EXPECT_EQ(r.output.key(0), "a");
+  EXPECT_EQ(r.output.value(0), "4");
+  EXPECT_EQ(r.output.value(1), "2");
+  EXPECT_EQ(r.output.value(2), "4");
 }
 
 TEST(ReduceTask, AccountsShuffleAndOutput) {
   SumJob job;
-  auto segments = std::vector<std::vector<KV>>{seg({{"a", "1"}}), seg({{"a", "2"}})};
-  double fetched = 0;
-  for (const auto& s : segments)
-    for (const auto& kv : s) fetched += static_cast<double>(kv.bytes());
-  auto r = run_reduce_task(job, std::move(segments));
+  Segments segs;
+  segs.add({{"a", "1"}}).add({{"a", "2"}});
+  double fetched = segs.bytes();
+  auto r = run_reduce_task(job, segs.views());
   EXPECT_DOUBLE_EQ(r.counters.shuffle_bytes, fetched);
   EXPECT_DOUBLE_EQ(r.counters.output_records, 1);
   EXPECT_GT(r.counters.disk_write_bytes, 0);
@@ -83,15 +105,19 @@ TEST(ReduceTask, EmptySegmentsProduceNothing) {
 
 TEST(ReduceTask, RejectsMapOnlyJob) {
   MapOnlyJob job;
-  EXPECT_THROW(run_reduce_task(job, {seg({{"a", "1"}})}), Error);
+  Segments segs;
+  segs.add({{"a", "1"}});
+  EXPECT_THROW(run_reduce_task(job, segs.views()), Error);
 }
 
 TEST(ReduceTask, OutputSortedByKey) {
   SumJob job;
-  auto r = run_reduce_task(job, {seg({{"b", "1"}, {"d", "1"}}), seg({{"a", "1"}, {"c", "1"}})});
+  Segments segs;
+  segs.add({{"b", "1"}, {"d", "1"}}).add({{"a", "1"}, {"c", "1"}});
+  auto r = run_reduce_task(job, segs.views());
   ASSERT_EQ(r.output.size(), 4u);
   for (std::size_t i = 1; i < r.output.size(); ++i)
-    EXPECT_LT(r.output[i - 1].key, r.output[i].key);
+    EXPECT_LT(r.output.key(i - 1), r.output.key(i));
 }
 
 }  // namespace

@@ -161,9 +161,9 @@ TEST(NaiveBayesApp, TrainedModelClassifiesHeldOutDocs) {
   int correct = 0, total = 0;
   while (held_out.next(rec)) {
     auto tab = rec.value.find('\t');
-    std::string label = rec.value.substr(0, tab);
+    std::string label(rec.value.substr(0, tab));
     std::vector<std::string> tokens;
-    for_each_token(std::string_view(rec.value).substr(tab + 1),
+    for_each_token(rec.value.substr(tab + 1),
                    [&](std::string_view t) { tokens.emplace_back(t); });
     if (model.classify(tokens) == label) ++correct;
     ++total;

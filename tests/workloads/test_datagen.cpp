@@ -84,7 +84,7 @@ TEST(LabeledDocSource, LabelPrefixAndBody) {
   while (src.next(rec)) {
     auto tab = rec.value.find('\t');
     ASSERT_NE(tab, std::string::npos);
-    std::string label = rec.value.substr(0, tab);
+    std::string label(rec.value.substr(0, tab));
     EXPECT_EQ(label.rfind("class", 0), 0u);
     labels.insert(label);
     ++docs;
