@@ -96,6 +96,32 @@ inline std::string parse_json_flag(int argc, char** argv) {
   return "";
 }
 
+/// One row of a free-form metrics summary: a label plus named scalar
+/// metrics. For benches whose output is modeled quantities (seconds,
+/// joules, ED^xP) rather than a throughput figure.
+struct MetricsJsonRow {
+  std::string label;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Writes rows as a JSON array of {"bench": label, <metric>: value,
+/// ...} objects. Returns false if the file can't be opened.
+inline bool write_metrics_json(const std::string& path, const std::vector<MetricsJsonRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "  {\"bench\": \"%s\"", rows[i].label.c_str());
+    for (const auto& [name, value] : rows[i].metrics) {
+      std::fprintf(f, ", \"%s\": %.17g", name.c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
 /// Writes entries as a JSON array of {"bench", "ns_per_op",
 /// "records_per_s"} objects. Returns false if the file can't be opened.
 inline bool write_bench_json(const std::string& path, const std::vector<BenchJsonEntry>& entries) {

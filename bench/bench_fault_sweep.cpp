@@ -57,6 +57,8 @@ double wasted_pct(const mr::JobTrace& t) {
 
 int main(int argc, char** argv) {
   bench::init(argc, argv);
+  std::string json_path = bench::parse_json_flag(argc, argv);
+  std::vector<bench::MetricsJsonRow> json_rows;
   bench::print_header(
       "Fault sweep - retry, stragglers and speculative execution",
       "extension (fault model, DESIGN.md); paper baseline = clean column",
@@ -89,6 +91,10 @@ int main(int argc, char** argv) {
         if (name == "strag+spec") t_spec = r.total_time();
         row.push_back(fmt_fixed(r.total_time(), 1));
         row.push_back(fmt_num(bench::edp(r)));
+        json_rows.push_back({"fault_sweep/" + server.name + "/" + wl::short_name(id) + "/" + name,
+                             {{"time_s", r.total_time()},
+                              {"energy_j", r.total_energy()},
+                              {"edp", bench::edp(r)}}});
       }
       row.push_back(fmt_fixed(t_strag / t_spec, 2) + "x");
       t.add_row(std::move(row));
@@ -117,5 +123,9 @@ int main(int argc, char** argv) {
       "\nreading: strag+spec beats strag on time in every row (first-finisher wins);\n"
       "the cost is the wasted %% column — killed attempts' work — and one extra\n"
       "attempt per speculated task. fail10 pays retry waste plus backoff wall-clock.\n");
+  if (!json_path.empty() && !bench::write_metrics_json(json_path, json_rows)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -1,55 +1,119 @@
-// Extension bench: the deployment question behind Sec. 3.5 — run the
-// full six-application queue on an all-Xeon rack, an all-Atom rack and
-// a heterogeneous rack under three placement policies, and compare
-// makespan, energy, and ED^xP of the whole mix.
+// Extension bench: the deployment question behind Sec. 3.5 — replay
+// the full six-application queue on an all-Xeon rack, an all-Atom rack
+// and a heterogeneous rack provisioned to the same idle-power budget,
+// under three task-placement policies, on one discrete-event timeline.
+// Jobs share nodes at slot granularity and may split across big and
+// little nodes; makespan, energy (dynamic + provisioned idle) and
+// ED^xP of the whole mix come out of the replay.
 #include "bench_common.hpp"
 #include "core/cluster_sim.hpp"
 
 using namespace bvl;
 
+namespace {
+
+std::string rack_label(const std::vector<core::NodeSpec>& rack) {
+  std::string out;
+  for (const auto& spec : rack) {
+    if (!out.empty()) out += "+";
+    bool big = spec.server.name == arch::xeon_e5_2420().name;
+    out += std::to_string(spec.count) + (big ? "X" : "A");
+  }
+  return out;
+}
+
+double idle_watts(const std::vector<core::NodeSpec>& rack) {
+  double w = 0;
+  for (const auto& spec : rack) w += spec.count * spec.server.power.system_idle_w;
+  return w;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::init(argc, argv);
+  std::string json_path = bench::parse_json_flag(argc, argv);
   bench::print_header("Mix-on-rack study - homogeneous vs heterogeneous racks",
                       "extension of Sec. 3.5 (cloud-provider view)",
-                      "4-node racks; jobs queued in order; one job per node at a time");
+                      "iso-power racks; task-granular placement on one event timeline;\n"
+                      "energy = job dynamic energy + provisioned idle over the makespan");
 
-  std::vector<core::JobRequest> jobs;
-  for (auto id : wl::all_workloads()) jobs.push_back({id, 1 * GB});
-  // A second wave to keep all nodes busy.
-  for (auto id : wl::micro_benchmarks()) jobs.push_back({id, 1 * GB});
+  // The paper's mixed analytics queue at deployment scale: both
+  // compute-bound and I/O-bound classes, with a second wave of the
+  // common apps to keep every node busy. (FP-Growth is left out: one
+  // 3000-second job dominates every rack's makespan and turns the
+  // comparison into a single-job benchmark.)
+  std::vector<core::JobRequest> jobs = {
+      {wl::WorkloadId::kWordCount, 10 * GB}, {wl::WorkloadId::kSort, 10 * GB},
+      {wl::WorkloadId::kGrep, 10 * GB},      {wl::WorkloadId::kTeraSort, 10 * GB},
+      {wl::WorkloadId::kNaiveBayes, 10 * GB}, {wl::WorkloadId::kWordCount, 10 * GB},
+      {wl::WorkloadId::kSort, 10 * GB},      {wl::WorkloadId::kGrep, 10 * GB}};
 
   auto racks = core::comparison_racks(4);
-  const char* rack_names[] = {"all-Xeon", "all-Atom", "hetero 2+2"};
+  std::vector<bench::MetricsJsonRow> json_rows;
 
-  TextTable t({"rack", "policy", "makespan[s]", "energy[J]", "EDP", "ED2P"});
-  for (std::size_t r = 0; r < racks.size(); ++r) {
+  TextTable t({"rack", "idle[W]", "policy", "makespan[s]", "energy[J]", "EDP", "ED2P", "ED3P",
+               "split jobs"});
+  for (const auto& rack : racks) {
     for (auto policy : {core::MixPolicy::kClassAware, core::MixPolicy::kEarliestFinish,
                         core::MixPolicy::kRoundRobin}) {
-      core::MixResult res =
-          core::simulate_mix(bench::characterizer(), jobs, racks[r], policy,
-                             bench::characterizer().exec_threads());
-      t.add_row({rack_names[r], core::to_string(policy), fmt_fixed(res.makespan, 0),
-                 fmt_fixed(res.total_energy, 0), fmt_sci(res.edxp(1)), fmt_sci(res.edxp(2))});
+      core::MixResult res = core::simulate_mix(bench::characterizer(), jobs, rack, policy,
+                                               bench::characterizer().exec_threads());
+      int split = 0;
+      for (const auto& s : res.schedule) split += s.split_across_types() ? 1 : 0;
+      t.add_row({rack_label(rack), fmt_fixed(idle_watts(rack), 0), core::to_string(policy),
+                 fmt_fixed(res.makespan, 0), fmt_fixed(res.total_energy, 0), fmt_sci(res.edxp(1)),
+                 fmt_sci(res.edxp(2)), fmt_sci(res.edxp(3)), fmt_num(split)});
+      json_rows.push_back({"mix_racks/" + rack_label(rack) + "/" + core::to_string(policy),
+                           {{"makespan_s", res.makespan},
+                            {"energy_j", res.total_energy},
+                            {"edp", res.edxp(1)},
+                            {"ed2p", res.edxp(2)},
+                            {"ed3p", res.edxp(3)},
+                            {"split_jobs", static_cast<double>(split)}}});
     }
   }
   std::fputs(t.render().c_str(), stdout);
 
-  std::printf("\nper-job placement under class-aware policy on the hetero rack:\n");
+  std::printf("\nper-node utilization on the heterogeneous rack (earliest-finish):\n");
   core::MixResult hetero =
+      core::simulate_mix(bench::characterizer(), jobs, racks[2], core::MixPolicy::kEarliestFinish,
+                         bench::characterizer().exec_threads());
+  TextTable u({"node", "slots", "tasks", "slot util", "disk busy[s]", "energy[J]"});
+  for (const auto& n : hetero.nodes) {
+    u.add_row({n.node_type + "#" + std::to_string(n.node_index), fmt_num(n.slots),
+               fmt_num(n.tasks_run), fmt_fixed(n.slot_utilization, 2), fmt_fixed(n.disk_busy_s, 0),
+               fmt_fixed(n.energy, 0)});
+  }
+  std::fputs(u.render().c_str(), stdout);
+
+  std::printf("\nper-job placement under class-aware policy on the hetero rack:\n");
+  core::MixResult ca =
       core::simulate_mix(bench::characterizer(), jobs, racks[2], core::MixPolicy::kClassAware,
                          bench::characterizer().exec_threads());
-  TextTable s({"job", "class", "node", "start[s]", "finish[s]"});
-  for (const auto& j : hetero.schedule) {
+  TextTable s({"job", "class", "primary node", "tasks by type", "start[s]", "finish[s]"});
+  for (const auto& j : ca.schedule) {
+    std::string by_type;
+    for (const auto& [type, count] : j.tasks_by_type) {
+      if (!by_type.empty()) by_type += " ";
+      by_type += (type == arch::xeon_e5_2420().name ? "X:" : "A:") + std::to_string(count);
+    }
     s.add_row({wl::short_name(j.job.workload), core::to_string(j.app_class),
-               j.node_type + "#" + std::to_string(j.node_index), fmt_fixed(j.start, 0),
+               j.node_type + "#" + std::to_string(j.node_index), by_type, fmt_fixed(j.start, 0),
                fmt_fixed(j.finish, 0)});
   }
   std::fputs(s.render().c_str(), stdout);
   std::printf(
-      "\nobserved lesson: the per-job class policy minimizes energy but can idle the\n"
-      "big nodes while Atom queues grow; on the heterogeneous rack the\n"
-      "earliest-finish policy recovers near-Xeon makespan at double-digit energy\n"
-      "savings — class labels pick the right *kind* of node, load awareness must\n"
-      "pick the right *instance*.\n");
+      "\nobserved lesson: at the same idle-power budget the heterogeneous rack wins\n"
+      "every delay-weighted goal (EDP, ED2P, narrowly ED3P) on a mixed queue — big\n"
+      "nodes soak up the I/O-bound tasks, little nodes run the CPU-bound bulk\n"
+      "cheaply, and the earliest-finish dispatcher keeps both sides busy. Only\n"
+      "pure energy stays with the all-little rack: rack choice is a statement\n"
+      "about which exponent the operator is paid on.\n");
+
+  if (!json_path.empty() && !bench::write_metrics_json(json_path, json_rows)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -46,21 +46,30 @@ const mr::JobTrace& Characterizer::trace(const RunSpec& spec) {
   return cache_.emplace(k, std::move(t)).first->second;
 }
 
-perf::RunResult Characterizer::run(const RunSpec& spec, const arch::ServerConfig& server) {
-  const mr::JobTrace& t = trace(spec);
-  perf::PerfModel* model = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = models_.find(server.name);
-    if (it == models_.end()) {
-      it = models_
-               .emplace(server.name,
-                        std::make_unique<perf::PerfModel>(server, dfs_, cluster_))
-               .first;
-    }
-    model = it->second.get();
+const perf::Pricer& Characterizer::pricer(const arch::ServerConfig& server,
+                                          perf::PricerKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(server.name, static_cast<int>(kind));
+  auto it = pricers_.find(key);
+  if (it == pricers_.end()) {
+    it = pricers_.emplace(key, perf::make_pricer(kind, server, dfs_, cluster_)).first;
   }
-  return model->price(t, spec.freq, spec.mappers);  // price() is const/stateless
+  return *it->second;
+}
+
+const perf::EventPricer& Characterizer::event_pricer(const arch::ServerConfig& server) {
+  return static_cast<const perf::EventPricer&>(pricer(server, perf::PricerKind::kEvent));
+}
+
+perf::RunResult Characterizer::run(const RunSpec& spec, const arch::ServerConfig& server) {
+  return run(spec, server, perf::PricerKind::kAnalytic);
+}
+
+perf::RunResult Characterizer::run(const RunSpec& spec, const arch::ServerConfig& server,
+                                   perf::PricerKind kind) {
+  const mr::JobTrace& t = trace(spec);
+  // price() is const/stateless; the cached pricer is shared.
+  return pricer(server, kind).price(t, spec.freq, spec.mappers);
 }
 
 std::pair<perf::RunResult, perf::RunResult> Characterizer::run_pair(const RunSpec& spec) {

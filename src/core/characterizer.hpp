@@ -13,6 +13,7 @@
 #include "arch/server_config.hpp"
 #include "mapreduce/engine.hpp"
 #include "perf/perf_model.hpp"
+#include "perf/pricer.hpp"
 #include "workloads/registry.hpp"
 
 namespace bvl::core {
@@ -54,8 +55,21 @@ class Characterizer {
   const mr::JobTrace& trace(const RunSpec& spec);
 
   /// Prices the spec's trace on `server` at the spec's operating
-  /// point.
+  /// point with the analytic (closed-form) pricer — the default every
+  /// figure and golden is pinned against.
   perf::RunResult run(const RunSpec& spec, const arch::ServerConfig& server);
+
+  /// Same, with an explicit pricer kind (kEvent replays the trace on
+  /// the discrete-event kernel).
+  perf::RunResult run(const RunSpec& spec, const arch::ServerConfig& server,
+                      perf::PricerKind kind);
+
+  /// Cached pricer for (server, kind) — pricers are stateless after
+  /// construction, so references stay valid and shareable.
+  const perf::Pricer& pricer(const arch::ServerConfig& server, perf::PricerKind kind);
+
+  /// The event pricer, typed: cluster_sim needs its job_sim() surface.
+  const perf::EventPricer& event_pricer(const arch::ServerConfig& server);
 
   /// Convenience for the ubiquitous Atom-vs-Xeon pair.
   std::pair<perf::RunResult, perf::RunResult> run_pair(const RunSpec& spec);
@@ -80,9 +94,11 @@ class Characterizer {
   std::uint64_t seed_;
   int exec_threads_ = 0;
   mr::Engine engine_;
-  std::mutex mu_;  ///< guards cache_ and models_ (node refs stay stable)
+  std::mutex mu_;  ///< guards cache_ and pricers_ (node refs stay stable)
   std::map<Key, mr::JobTrace> cache_;
-  std::map<std::string, std::unique_ptr<perf::PerfModel>> models_;
+  /// Pricer cache keyed by (server name, pricer kind): the same server
+  /// carries one closed-form and one event-driven pricer side by side.
+  std::map<std::pair<std::string, int>, std::unique_ptr<perf::Pricer>> pricers_;
 };
 
 }  // namespace bvl::core

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <memory>
 #include <set>
 #include <utility>
 
+#include "core/metrics.hpp"
+#include "perf/pricer.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -13,35 +19,62 @@ namespace bvl::core {
 
 namespace {
 
-/// Mutable per-node state during list scheduling.
-struct NodeState {
-  const arch::ServerConfig* server;
-  int index;           ///< instance number within its type
-  Seconds free_at = 0;
+/// One physical node on the timeline: a slot pool plus its shared
+/// disk and NIC service queues.
+struct Node {
+  const arch::ServerConfig* server = nullptr;
+  int type_id = 0;  ///< index into the rack's distinct-type table
+  int index = 0;    ///< instance number within its type
+  std::unique_ptr<sim::SlotPool> slots;
+  std::unique_ptr<sim::ServiceQueue> disk;
+  std::unique_ptr<sim::ServiceQueue> nic;
+  /// Estimated end times of the tasks currently holding slots, so the
+  /// dispatcher can reason about *when* a full node frees up instead
+  /// of only about who is free right now (myopic greedy placement
+  /// strands tail tasks on slow nodes — the classic heterogeneous
+  /// straggler). Completions retire the earliest estimate.
+  std::multiset<Seconds> est_ends;
+  int tasks_run = 0;
+  Joules energy = 0;
+
+  bool has_free_slot() const { return slots->in_use() < slots->slots(); }
+  /// Delay until a slot is expected to free (0 when one is free now).
+  Seconds est_slot_delay(Seconds now) const {
+    if (has_free_slot() || est_ends.empty()) return 0;
+    return std::max<Seconds>(0, *est_ends.begin() - now);
+  }
 };
 
-std::vector<NodeState> expand(const std::vector<NodeSpec>& rack) {
-  std::vector<NodeState> nodes;
-  for (const auto& spec : rack) {
-    require(spec.count >= 1, "simulate_mix: node count must be >= 1");
-    for (int i = 0; i < spec.count; ++i) nodes.push_back({&spec.server, i, 0.0});
-  }
-  require(!nodes.empty(), "simulate_mix: empty rack");
-  return nodes;
-}
+/// A dispatchable unit: one map or reduce task of one job.
+struct TaskRef {
+  std::size_t job = 0;
+  int phase = 0;  ///< 0 = map, 1 = reduce
+  std::size_t task = 0;
+  std::size_t rr_node = 0;  ///< static target under kRoundRobin
+};
 
-/// Runtime and energy of `job` on `server` using all its cores.
-std::pair<Seconds, Joules> job_cost(Characterizer& ch, const JobRequest& job,
-                                    const arch::ServerConfig& server) {
-  RunSpec spec;
-  spec.workload = job.workload;
-  spec.input_size = job.input_size;
-  spec.mappers = std::min(8, server.cores);
-  perf::RunResult r = ch.run(spec, server);
-  return {r.total_time(), r.total_energy()};
-}
+struct JobState {
+  AppClass cls = AppClass::kHybrid;
+  bool prefers_big = false;
+  /// Per node type: this job's tasks rendered for that type.
+  std::vector<const perf::JobSim*> profile;
+  int nmaps = 0;
+  int maps_done = 0;
+  int slowstart_after = 0;
+  bool reduces_ok = false;
+  Seconds first_start = std::numeric_limits<double>::infinity();
+  Seconds last_finish = 0;
+  Joules energy = 0;
+  std::map<std::string, int> tasks_by_type;
+  std::map<std::size_t, int> tasks_by_node;  ///< flat node id -> count
+};
 
 }  // namespace
+
+int task_slots_for(const arch::ServerConfig& server, const MixOptions& opts) {
+  int cap = opts.slots_per_node > 0 ? opts.slots_per_node : kDefaultTaskSlotsPerNode;
+  return std::max(1, std::min(server.cores, cap));
+}
 
 std::string to_string(MixPolicy p) {
   switch (p) {
@@ -52,23 +85,46 @@ std::string to_string(MixPolicy p) {
   throw Error("to_string(MixPolicy): unknown policy");
 }
 
-double MixResult::edxp(int x) const {
-  require(x >= 0 && x <= 3, "MixResult::edxp: x out of [0,3]");
-  return total_energy * std::pow(makespan, x);
-}
+double MixResult::edxp(int x) const { return edxp_value(total_energy, makespan, x); }
 
 MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
-                       const std::vector<NodeSpec>& rack, MixPolicy policy,
-                       int exec_threads) {
-  std::vector<NodeState> nodes = expand(rack);
+                       const std::vector<NodeSpec>& rack, MixPolicy policy, int exec_threads,
+                       const MixOptions& opts) {
+  require(opts.reduce_slowstart > 0 && opts.reduce_slowstart <= 1.0,
+          "simulate_mix: reduce_slowstart must be in (0, 1]");
 
-  // Warm the characterizer's trace cache for every distinct job spec
-  // in parallel: list scheduling below is inherently sequential, but
-  // almost all of its cost is the first engine run per spec. The trace
-  // is mapper-count independent, so one warm per (workload, input)
-  // pair covers every node type. Characterizer::trace is thread-safe.
+  // ---- Expand the rack: distinct type table + flat node list ----
+  std::vector<const arch::ServerConfig*> types;
+  std::vector<Node> nodes;
+  sim::Simulation sim;
+  for (const auto& spec : rack) {
+    require(spec.count >= 1, "simulate_mix: node count must be >= 1");
+    int type_id = -1;
+    for (std::size_t t = 0; t < types.size(); ++t) {
+      if (types[t]->name == spec.server.name) type_id = static_cast<int>(t);
+    }
+    if (type_id < 0) {
+      type_id = static_cast<int>(types.size());
+      types.push_back(&spec.server);
+    }
+    for (int i = 0; i < spec.count; ++i) {
+      Node n;
+      n.server = &spec.server;
+      n.type_id = type_id;
+      n.index = i;
+      n.slots = std::make_unique<sim::SlotPool>(sim, task_slots_for(spec.server, opts));
+      n.disk = std::make_unique<sim::ServiceQueue>(sim);
+      n.nic = std::make_unique<sim::ServiceQueue>(sim);
+      nodes.push_back(std::move(n));
+    }
+  }
+  require(!nodes.empty(), "simulate_mix: empty rack");
+
+  // ---- Pre-characterize distinct job specs in parallel ----
+  // The engine runs dominate; the timeline replay below only consumes
+  // cached traces. Characterizer::trace is thread-safe.
+  std::vector<RunSpec> distinct;
   {
-    std::vector<RunSpec> distinct;
     std::set<std::pair<int, Bytes>> seen;
     for (const auto& job : jobs) {
       if (!seen.insert({static_cast<int>(job.workload), job.input_size}).second) continue;
@@ -79,73 +135,243 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
     }
     parallel_for(exec_threads, distinct.size(), [&](std::size_t i) { ch.trace(distinct[i]); });
   }
-  MixResult result;
-  std::size_t rr_cursor = 0;
 
-  for (const auto& job : jobs) {
-    AppClass cls = classify_workload(ch, job.workload);
+  // ---- Render each distinct spec on each node type ----
+  // Key: (workload, input, type) -> per-task demands + nominal energy.
+  std::map<std::tuple<int, Bytes, int>, perf::JobSim> profiles;
+  for (const auto& spec : distinct) {
+    for (std::size_t t = 0; t < types.size(); ++t) {
+      const mr::JobTrace& trace = ch.trace(spec);
+      profiles.emplace(
+          std::make_tuple(static_cast<int>(spec.workload), spec.input_size, static_cast<int>(t)),
+          ch.event_pricer(*types[t]).job_sim(trace, spec.freq, task_slots_for(*types[t], opts)));
+    }
+  }
 
-    NodeState* chosen = nullptr;
-    switch (policy) {
-      case MixPolicy::kClassAware: {
-        // Preferred server type per the Sec. 3.5 policy; fall back to
-        // any node when the rack lacks that type.
-        Allocation want = schedule_by_class(cls, Goal::edp());
-        const std::string preferred =
-            want.uses_xeon() ? arch::xeon_e5_2420().name : arch::atom_c2758().name;
-        for (auto& n : nodes) {
-          if (n.server->name != preferred) continue;
-          if (chosen == nullptr || n.free_at < chosen->free_at) chosen = &n;
-        }
-        if (chosen == nullptr) {
-          for (auto& n : nodes)
-            if (chosen == nullptr || n.free_at < chosen->free_at) chosen = &n;
-        }
-        break;
+  // ---- Job state + the task queue (job order, maps before reduces) ----
+  std::vector<JobState> states(jobs.size());
+  std::vector<TaskRef> pending;
+  std::size_t rr_counter = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    JobState& js = states[j];
+    js.cls = classify_workload(ch, jobs[j].workload);
+    js.prefers_big = schedule_by_class(js.cls, Goal::edp()).uses_xeon();
+    js.profile.resize(types.size());
+    for (std::size_t t = 0; t < types.size(); ++t) {
+      js.profile[t] = &profiles.at(std::make_tuple(static_cast<int>(jobs[j].workload),
+                                                   jobs[j].input_size, static_cast<int>(t)));
+    }
+    js.nmaps = static_cast<int>(js.profile[0]->map_tasks.size());
+    js.slowstart_after = std::min(
+        js.nmaps,
+        static_cast<int>(std::ceil(opts.reduce_slowstart * static_cast<double>(js.nmaps))));
+    js.reduces_ok = js.nmaps == 0;
+    for (std::size_t i = 0; i < js.profile[0]->map_tasks.size(); ++i) {
+      pending.push_back({j, 0, i, rr_counter++ % nodes.size()});
+    }
+    for (std::size_t i = 0; i < js.profile[0]->reduce_tasks.size(); ++i) {
+      pending.push_back({j, 1, i, rr_counter++ % nodes.size()});
+    }
+  }
+
+  auto task_for = [&](const TaskRef& tr, int type_id) -> const perf::SimTask& {
+    const perf::JobSim& p = *states[tr.job].profile[type_id];
+    return tr.phase == 0 ? p.map_tasks[tr.task] : p.reduce_tasks[tr.task];
+  };
+
+  // Estimated duration of `tr` once started on `n` after `delay`:
+  // compute in parallel with whatever device backlog will remain at
+  // that start time, plus the serial tail.
+  auto est_duration = [&](const TaskRef& tr, const Node& n, Seconds delay) {
+    const perf::SimTask& t = task_for(tr, n.type_id);
+    Seconds start = sim.now() + delay;
+    Seconds disk_delay = std::max<Seconds>(0, n.disk->free_at() - start);
+    Seconds nic_delay = std::max<Seconds>(0, n.nic->free_at() - start);
+    return std::max({t.cpu_s, disk_delay + t.disk_svc_s, nic_delay + t.nic_svc_s}) + t.serial_s +
+           t.backoff_s;
+  };
+  // ETF signal: estimated completion of `tr` on `n`, counting the
+  // wait for `n`'s earliest slot when the node is full. Lets the
+  // dispatcher keep a task *pending* for a fast node about to free
+  // rather than strand it on a slow free one.
+  auto est_finish = [&](const TaskRef& tr, const Node& n) {
+    Seconds delay = n.est_slot_delay(sim.now());
+    return delay + est_duration(tr, n, delay);
+  };
+
+  const std::string big = arch::xeon_e5_2420().name;
+  // nullptr = nothing suitable free; a full `best` = defer the task
+  // until a completion re-runs dispatch (safe: a full node implies a
+  // running task whose completion re-enters the dispatcher).
+  auto pick_node = [&](const TaskRef& tr) -> Node* {
+    if (policy == MixPolicy::kRoundRobin) {
+      Node& n = nodes[tr.rr_node];
+      return n.has_free_slot() ? &n : nullptr;
+    }
+    const JobState& js = states[tr.job];
+    Node* best = nullptr;
+    Seconds best_est = std::numeric_limits<double>::infinity();
+    auto consider = [&](Node& n) {
+      Seconds est = est_finish(tr, n);
+      if (est < best_est) {
+        best_est = est;
+        best = &n;
       }
-      case MixPolicy::kEarliestFinish: {
-        Seconds best_finish = std::numeric_limits<double>::infinity();
-        for (auto& n : nodes) {
-          auto [t, e] = job_cost(ch, job, *n.server);
-          if (n.free_at + t < best_finish) {
-            best_finish = n.free_at + t;
-            chosen = &n;
-          }
-        }
-        break;
+    };
+    if (policy == MixPolicy::kClassAware) {
+      // Paper policy, task-granular: a free slot on the job's
+      // class-preferred type always wins. Only when the preferred
+      // side is saturated does the dispatcher weigh waiting for a
+      // preferred slot (ETF) against spilling to a free slot of the
+      // other type — so sustained pressure splits a job across big
+      // and little, but speed alone never overrides the class label.
+      for (Node& n : nodes) {
+        bool is_big = n.server->name == big;
+        if (is_big == js.prefers_big && n.has_free_slot()) consider(n);
       }
-      case MixPolicy::kRoundRobin: {
-        chosen = &nodes[rr_cursor % nodes.size()];
-        ++rr_cursor;
-        break;
+      if (best != nullptr) return best;
+      for (Node& n : nodes) {
+        bool is_big = n.server->name == big;
+        if (is_big == js.prefers_big || n.has_free_slot()) consider(n);
+      }
+    } else {
+      for (Node& n : nodes) consider(n);
+    }
+    return best;
+  };
+
+  std::function<void()> dispatch;  // declared first: task completions re-enter it
+  auto start_task = [&](const TaskRef& tr, Node& n) {
+    bool got = n.slots->try_acquire();
+    require(got, "simulate_mix: dispatched to a full node");
+    JobState& js = states[tr.job];
+    const perf::SimTask& t = task_for(tr, n.type_id);
+    js.first_start = std::min(js.first_start, sim.now());
+    js.tasks_by_type[n.server->name] += 1;
+    js.tasks_by_node[static_cast<std::size_t>(&n - nodes.data())] += 1;
+    n.tasks_run += 1;
+    n.est_ends.insert(sim.now() + est_duration(tr, n, 0));
+    perf::replay_task_on_slot(sim, *n.disk, *n.nic, t, [&sim, &js, &n, &dispatch, tr, &t] {
+      n.energy += t.energy;
+      js.energy += t.energy;
+      js.last_finish = std::max(js.last_finish, sim.now());
+      if (tr.phase == 0) {
+        ++js.maps_done;
+        if (!js.reduces_ok && js.maps_done >= js.slowstart_after) js.reduces_ok = true;
+      }
+      n.est_ends.erase(n.est_ends.begin());
+      n.slots->release();
+      dispatch();
+    });
+  };
+
+  dispatch = [&] {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto it = pending.begin(); it != pending.end();) {
+        if (it->phase == 1 && !states[it->job].reduces_ok) {
+          ++it;
+          continue;
+        }
+        Node* n = pick_node(*it);
+        if (n == nullptr || !n->has_free_slot()) {
+          // Nothing suitable, or the best choice is a full node worth
+          // waiting for (ETF): leave the task pending; the next task
+          // completion re-runs dispatch.
+          ++it;
+          continue;
+        }
+        TaskRef tr = *it;
+        it = pending.erase(it);
+        start_task(tr, *n);
+        progress = true;
       }
     }
-    require(chosen != nullptr, "simulate_mix: no node selected");
+  };
 
-    auto [t, e] = job_cost(ch, job, *chosen->server);
+  dispatch();
+  sim.run();
+  require(pending.empty(), "simulate_mix: undispatched tasks after replay");
+
+  // ---- Collect job schedules and node utilization ----
+  MixResult result;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    JobState& js = states[j];
+    // Primary type/node = plurality of executed tasks (first wins ties
+    // via strict >), for reporting and for charging setup/cleanup.
+    int primary_type = 0;
+    int best_count = -1;
+    for (std::size_t t = 0; t < types.size(); ++t) {
+      auto it = js.tasks_by_type.find(types[t]->name);
+      int count = it == js.tasks_by_type.end() ? 0 : it->second;
+      if (count > best_count) {
+        best_count = count;
+        primary_type = static_cast<int>(t);
+      }
+    }
     JobSchedule s;
-    s.job = job;
-    s.app_class = cls;
-    s.node_type = chosen->server->name;
-    s.node_index = chosen->index;
-    s.start = chosen->free_at;
-    s.finish = chosen->free_at + t;
-    s.energy = e;
-    chosen->free_at = s.finish;
-    result.total_energy += e;
+    s.job = jobs[j];
+    s.app_class = js.cls;
+    s.node_type = types[primary_type]->name;
+    int node_best = -1;
+    for (const auto& [flat, count] : js.tasks_by_node) {
+      if (nodes[flat].type_id == primary_type && count > node_best) {
+        node_best = count;
+        s.node_index = nodes[flat].index;
+      }
+    }
+    s.start = js.first_start == std::numeric_limits<double>::infinity() ? 0 : js.first_start;
+    // Setup/cleanup ("other" phase) is serialized with the job's
+    // tasks and charged on the primary type.
+    s.finish = js.last_finish + js.profile[primary_type]->other_s;
+    s.energy = js.energy + js.profile[primary_type]->other_energy;
+    s.tasks_by_type = js.tasks_by_type;
+    result.total_energy += s.energy;
     result.makespan = std::max(result.makespan, s.finish);
     result.schedule.push_back(std::move(s));
+  }
+  Seconds end = sim.now();
+  for (const Node& n : nodes) {
+    NodeUtilization u;
+    u.node_type = n.server->name;
+    u.node_index = n.index;
+    u.slots = n.slots->slots();
+    u.tasks_run = n.tasks_run;
+    u.busy_slot_s = n.slots->busy_slot_seconds(end);
+    u.disk_busy_s = n.disk->busy_s();
+    // Per-task energies are *dynamic* (above-idle, the Watts-up
+    // methodology), so a provisioned node additionally burns its idle
+    // power for the whole makespan — the rack-level term that makes
+    // the big-vs-little provisioning question interesting at all.
+    Joules idle = n.server->power.system_idle_w * result.makespan;
+    u.energy = n.energy + idle;
+    u.slot_utilization = end > 0 ? u.busy_slot_s / (static_cast<double>(u.slots) * end) : 0.0;
+    result.total_energy += idle;
+    result.nodes.push_back(std::move(u));
   }
   return result;
 }
 
-std::vector<std::vector<NodeSpec>> comparison_racks(int nodes) {
-  require(nodes >= 2, "comparison_racks: need at least 2 nodes");
+std::vector<std::vector<NodeSpec>> comparison_racks(int big_nodes) {
+  require(big_nodes >= 2, "comparison_racks: need at least 2 big nodes");
+  const arch::ServerConfig xeon = arch::xeon_e5_2420();
+  const arch::ServerConfig atom = arch::atom_c2758();
+  // Iso-power provisioning: the all-big rack sets the idle-power
+  // budget and the other racks match it as closely as whole nodes
+  // allow (the paper's framing — several little nodes replace one big
+  // node under the same power envelope, not the same node count).
+  const double budget_w = big_nodes * xeon.power.system_idle_w;
+  auto atoms_for = [&](double watts) {
+    return std::max(1, static_cast<int>(std::lround(watts / atom.power.system_idle_w)));
+  };
   std::vector<std::vector<NodeSpec>> racks;
-  racks.push_back({NodeSpec{arch::xeon_e5_2420(), nodes}});
-  racks.push_back({NodeSpec{arch::atom_c2758(), nodes}});
-  racks.push_back({NodeSpec{arch::xeon_e5_2420(), nodes / 2},
-                   NodeSpec{arch::atom_c2758(), nodes - nodes / 2}});
+  racks.push_back({NodeSpec{xeon, big_nodes}});
+  racks.push_back({NodeSpec{atom, atoms_for(budget_w)}});
+  int hetero_big = big_nodes / 2;
+  racks.push_back(
+      {NodeSpec{xeon, hetero_big},
+       NodeSpec{atom, atoms_for(budget_w - hetero_big * xeon.power.system_idle_w)}});
   return racks;
 }
 

@@ -1,12 +1,18 @@
 // Heterogeneous-cluster mix simulation: the cloud-provider view of
 // Sec. 3.5. plan_jobs answers "where should this job go"; this module
-// answers "what happens to a whole queue of jobs on a concrete rack"
-// — list-schedule a job mix onto a pool of big and little nodes and
-// report makespan, total energy, and the cost metrics, so a
-// heterogeneous rack can be compared against all-big and all-little
-// alternatives (the paper's motivating deployment question).
+// answers "what happens to a whole queue of jobs on a concrete rack".
+//
+// The rack is one discrete-event timeline (sim/event_queue): every
+// node is a slot pool plus a shared disk and NIC, every job is a bag
+// of per-task demands (perf::EventPricer::job_sim), and a placement
+// policy dispatches tasks — not whole jobs — onto free slots. Jobs
+// therefore share nodes at slot granularity, one job's tasks may
+// split across big and little nodes (the paper's actual heterogeneity
+// promise), and makespan/energy/utilization all emerge from the
+// replayed timeline instead of a per-job closed form.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -22,50 +28,110 @@ struct NodeSpec {
   int count = 1;  ///< identical nodes of this type
 };
 
+/// Hadoop's per-tasktracker concurrent-task cap
+/// (mapred.tasktracker.*.tasks.maximum). Replaces the old hardcoded
+/// `std::min(8, server.cores)` buried in job_cost.
+inline constexpr int kDefaultTaskSlotsPerNode = 8;
+
+struct MixOptions {
+  /// Task slots per node; 0 derives min(server cores,
+  /// kDefaultTaskSlotsPerNode). The effective per-job width is further
+  /// capped by the job's own task count (which the input size and
+  /// block size determine), so a small job never "occupies" slots it
+  /// cannot fill.
+  int slots_per_node = 0;
+  /// Fraction of a job's maps that must finish before its reduces
+  /// become dispatchable (Hadoop reduce slowstart). 1.0 = serial
+  /// phases, matching single-job pricing.
+  double reduce_slowstart = 1.0;
+};
+
+/// Resolved slot count for one node type under `opts`.
+int task_slots_for(const arch::ServerConfig& server, const MixOptions& opts);
+
 /// Where and when one job ran.
 struct JobSchedule {
   JobRequest job;
   AppClass app_class = AppClass::kHybrid;
-  std::string node_type;
-  int node_index = 0;       ///< which instance of that type
-  Seconds start = 0;
-  Seconds finish = 0;
+  std::string node_type;  ///< type that ran the plurality of its tasks
+  int node_index = 0;     ///< instance (within type) that ran the most
+  Seconds start = 0;      ///< first task dispatch
+  Seconds finish = 0;     ///< last task completion + setup/cleanup
   Joules energy = 0;
+  /// Map+reduce tasks by the node type that executed them; a job
+  /// listed under two types was split across big and little nodes.
+  std::map<std::string, int> tasks_by_type;
+
+  bool split_across_types() const { return tasks_by_type.size() > 1; }
+};
+
+/// Per-node occupancy over the replayed timeline.
+struct NodeUtilization {
+  std::string node_type;
+  int node_index = 0;
+  int slots = 0;
+  int tasks_run = 0;
+  Seconds busy_slot_s = 0;   ///< integral of occupied slots over time
+  Seconds disk_busy_s = 0;
+  /// Dynamic energy of the tasks this node ran, plus its idle power
+  /// burned over the whole makespan (a provisioned node draws idle
+  /// watts whether or not it has work — the term that makes rack
+  /// composition an energy decision, not just a placement one).
+  Joules energy = 0;
+  double slot_utilization = 0;  ///< busy_slot_s / (slots * timeline end)
 };
 
 struct MixResult {
   std::vector<JobSchedule> schedule;
+  std::vector<NodeUtilization> nodes;
   Seconds makespan = 0;
+  /// Wall energy of the rack: per-job dynamic energy (the schedule
+  /// entries) plus every provisioned node's idle power over the
+  /// makespan. Equals the sum of NodeUtilization::energy plus the
+  /// jobs' setup/cleanup energy.
   Joules total_energy = 0;
 
-  /// Operational cost of the whole mix (energy x makespan^x).
+  /// Operational cost of the whole mix (energy x makespan^x), routed
+  /// through the shared core::edxp_value validation.
   double edxp(int x) const;
 };
 
-/// Placement policies for the mix simulation.
+/// Task-placement policies for the mix timeline.
 enum class MixPolicy {
-  kClassAware,     ///< paper policy: route by C/I/H class, earliest-free node of the preferred type
-  kEarliestFinish, ///< greedy: whichever node finishes the job soonest
-  kRoundRobin,     ///< class-blind baseline
+  /// Paper policy at task granularity: a task prefers a free slot on
+  /// its job's class-preferred type (C -> little, I -> big, per
+  /// schedule_by_class) and spills to the other type only when the
+  /// preferred side has no free slot — work-conserving, so pressure
+  /// splits a job across big and little nodes.
+  kClassAware,
+  /// Greedy: each task goes to the free slot whose estimated finish
+  /// (compute + device backlog) is soonest, class-blind.
+  kEarliestFinish,
+  /// Static striping of tasks over nodes regardless of load or class;
+  /// a task waits for "its" node even while others idle (baseline).
+  kRoundRobin,
 };
 
 std::string to_string(MixPolicy p);
 
-/// Simulates `jobs` (processed in order) on the `rack` under `policy`.
-/// Each job occupies one node exclusively; per-job runtimes/energy come
-/// from the Characterizer at the node's full core count.
+/// Replays `jobs` (all submitted at t=0, task-dispatched in order) on
+/// the `rack` under `policy`. Per-task demands and nominal energies
+/// come from the event pricer on each node type.
 ///
 /// `exec_threads` sizes a worker pool that pre-characterizes every
-/// distinct job spec of the mix in parallel before the (sequential)
-/// list scheduling — the engine runs dominate the cost, the scheduling
-/// itself then only prices cached traces. 0 = one worker per hardware
-/// thread, 1 = fully serial. The schedule is identical either way.
+/// distinct job spec of the mix in parallel before the (deterministic,
+/// single-threaded) timeline replay — the engine runs dominate the
+/// cost. 0 = one worker per hardware thread, 1 = fully serial. The
+/// schedule is identical either way.
 MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
                        const std::vector<NodeSpec>& rack, MixPolicy policy,
-                       int exec_threads = 0);
+                       int exec_threads = 0, const MixOptions& opts = {});
 
-/// Convenience: the paper's comparison racks — all-Xeon, all-Atom, and
-/// the heterogeneous half/half rack, each with `nodes` total nodes.
-std::vector<std::vector<NodeSpec>> comparison_racks(int nodes = 4);
+/// The paper's comparison racks under one idle-power envelope: the
+/// all-Xeon rack (`big_nodes` nodes) sets the budget; the all-Atom
+/// and half-budget heterogeneous racks match it as closely as whole
+/// nodes allow (~3.4 Atoms per Xeon). Iso-power — not iso-count — is
+/// the provisioning question the paper actually asks.
+std::vector<std::vector<NodeSpec>> comparison_racks(int big_nodes = 4);
 
 }  // namespace bvl::core

@@ -10,23 +10,25 @@ std::vector<int> paper_core_counts() { return {2, 4, 6, 8}; }
 
 std::vector<CoreCountPoint> core_count_sweep(Characterizer& ch, RunSpec spec,
                                              const arch::ServerConfig& server,
-                                             const std::vector<int>& counts) {
+                                             const std::vector<int>& counts,
+                                             perf::PricerKind kind) {
   require(!counts.empty(), "core_count_sweep: empty count list");
   std::vector<CoreCountPoint> out;
   out.reserve(counts.size());
   for (int m : counts) {
     require(m >= 1 && m <= server.cores, "core_count_sweep: core count outside server");
     spec.mappers = m;
-    perf::RunResult run = ch.run(spec, server);
+    perf::RunResult run = ch.run(spec, server, kind);
     out.push_back({server.name, m, metrics_for(run, server.area_mm2)});
   }
   return out;
 }
 
-std::vector<CoreCountPoint> table3_sweep(Characterizer& ch, const RunSpec& spec) {
+std::vector<CoreCountPoint> table3_sweep(Characterizer& ch, const RunSpec& spec,
+                                         perf::PricerKind kind) {
   auto counts = paper_core_counts();
-  std::vector<CoreCountPoint> out = core_count_sweep(ch, spec, arch::xeon_e5_2420(), counts);
-  auto atom = core_count_sweep(ch, spec, arch::atom_c2758(), counts);
+  std::vector<CoreCountPoint> out = core_count_sweep(ch, spec, arch::xeon_e5_2420(), counts, kind);
+  auto atom = core_count_sweep(ch, spec, arch::atom_c2758(), counts, kind);
   out.insert(out.end(), atom.begin(), atom.end());
   return out;
 }

@@ -20,12 +20,16 @@ struct CoreCountPoint {
 std::vector<int> paper_core_counts();
 
 /// Prices `spec` on `server` at each core count (mappers = cores).
+/// `kind` selects the pricer; the analytic default keeps every table
+/// and scheduler decision on the paper-pinned closed form.
 std::vector<CoreCountPoint> core_count_sweep(Characterizer& ch, RunSpec spec,
                                              const arch::ServerConfig& server,
-                                             const std::vector<int>& counts);
+                                             const std::vector<int>& counts,
+                                             perf::PricerKind kind = perf::PricerKind::kAnalytic);
 
 /// Both servers, paper counts; Xeon points first (Table 3 layout).
-std::vector<CoreCountPoint> table3_sweep(Characterizer& ch, const RunSpec& spec);
+std::vector<CoreCountPoint> table3_sweep(Characterizer& ch, const RunSpec& spec,
+                                         perf::PricerKind kind = perf::PricerKind::kAnalytic);
 
 /// Finds the point minimizing E*D^x*A^a (a = 0 for ED^xP, 1 for
 /// ED^xAP) over a sweep. Throws on empty input.

@@ -6,10 +6,12 @@
 
 namespace bvl::core {
 
-double CostMetrics::edxp(int x) const {
-  require(x >= 0 && x <= 3, "CostMetrics::edxp: x out of [0,3]");
+double edxp_value(Joules energy, Seconds delay, int x) {
+  require(x >= 0 && x <= 3, "edxp_value: x out of [0,3]");
   return energy * std::pow(delay, x);
 }
+
+double CostMetrics::edxp(int x) const { return edxp_value(energy, delay, x); }
 
 double CostMetrics::edxap(int x) const { return edxp(x) * area_mm2; }
 

@@ -9,6 +9,11 @@
 
 namespace bvl::core {
 
+/// The one ED^xP implementation: every metric in the repo (CostMetrics,
+/// MixResult, bench tables) routes through this so the exponent range
+/// is validated in exactly one place.
+double edxp_value(Joules energy, Seconds delay, int x);
+
 struct CostMetrics {
   Joules energy = 0;
   Seconds delay = 0;

@@ -4,28 +4,10 @@
 #include <cmath>
 #include <vector>
 
+#include "perf/task_cost.hpp"
 #include "util/error.hpp"
 
 namespace bvl::perf {
-
-namespace {
-
-double instructions_for(const mr::WorkCounters& c, const PhaseCosts& k,
-                        const arch::StorageModel& storage, double device_bytes) {
-  double inst = 0;
-  inst += k.per_record * c.input_records;
-  inst += k.per_token * c.token_ops;
-  inst += k.per_emit * c.emits;
-  inst += k.per_compare * c.compares;
-  inst += k.per_hash * c.hash_ops;
-  inst += k.per_compute_unit * c.compute_units;
-  inst += k.per_input_byte * c.input_bytes;
-  inst += k.per_output_byte * (c.output_bytes + c.spill_bytes);
-  inst += storage.kernel_instructions(static_cast<Bytes>(device_bytes));
-  return inst;
-}
-
-}  // namespace
 
 PhaseResult PhaseResult::combine(const PhaseResult& a, const PhaseResult& b) {
   PhaseResult r;
@@ -45,7 +27,6 @@ PhaseResult RunResult::whole() const {
 
 struct PerfModel::PhaseWork {
   const arch::Signature* sig = nullptr;
-  const PhaseCosts* costs = nullptr;
   int ntasks = 0;
   double total_inst = 0;
   double ws_bytes = 64.0 * 1024;  ///< per-task working set
@@ -166,11 +147,47 @@ PhaseResult PerfModel::price_phase(const PhaseWork& w, Hertz freq, int slots) co
   return r;
 }
 
+// Rebuilds the closed form's phase aggregates from the extracted
+// per-task records. The accumulation order (and the separate += for
+// base vs. codec instructions) mirrors the pre-split per-task loops
+// statement for statement so every sum rounds identically — the
+// PRICES.golden fixture holds this to the last bit.
+PerfModel::PhaseWork PerfModel::phase_work(const PhaseCost& pc) const {
+  PhaseWork w;
+  w.sig = pc.sig;
+  w.ntasks = pc.ntasks();
+  w.ws_bytes = pc.ws_bytes;
+  w.mem_refs_per_inst = pc.mem_refs_per_inst;
+  w.locality_theta = pc.locality_theta;
+  w.fixed_s = pc.fixed_s;
+  w.device_bytes = pc.fixed_device_bytes;
+  w.seeks = pc.fixed_seeks;
+  w.total_inst = pc.fixed_inst;
+  w.time_factors.reserve(pc.tasks.size());
+  for (const auto& t : pc.tasks) {
+    w.device_bytes += t.device_bytes;
+    w.seeks += t.seeks;
+    w.net_bytes += t.net_bytes;
+    w.total_inst += t.inst;
+    w.total_inst += t.codec_inst;  // separate add: matches the original `if (compress)` +=
+    w.time_factors.push_back(t.time_factor);
+    w.backoff_s += t.backoff_s;
+    if (t.retried) {
+      w.device_bytes += t.wasted_device_bytes;
+      w.net_bytes += t.wasted_net_bytes;
+      w.wasted_inst += t.wasted_inst;
+    }
+  }
+  // Task-less phases keep the closed form's ntasks==0 early-exit
+  // semantics: no time_factors means wave_stretch falls back to waves.
+  if (pc.tasks.empty()) w.time_factors.clear();
+  return w;
+}
+
 RunResult PerfModel::price(const mr::JobTrace& trace, Hertz freq, int slots) const {
   require(freq > 0, "PerfModel::price: non-positive frequency");
   if (slots <= 0) slots = server_.cores;
 
-  const WorkloadCalibration& cal = calibration_for(trace.workload);
   RunResult result;
   result.workload = trace.workload;
   result.server = server_.name;
@@ -179,143 +196,10 @@ RunResult PerfModel::price(const mr::JobTrace& trace, Hertz freq, int slots) con
   result.input_size = trace.config.input_size;
   result.mappers = slots;
 
-  double cache_bytes = cluster_.page_cache_fraction *
-                       static_cast<double>(server_.memory.capacity);
-  // Input reads are served from the page cache for the fraction of
-  // the per-node dataset that fits (both servers carry 8 GB): at
-  // 1 GB/node reads are nearly free on either machine, while at
-  // 10-20 GB/node the cache overflows and the disk gap opens — the
-  // mechanism behind the paper's data-size sensitivity (Sec. 3.3).
-  double read_miss = std::clamp(
-      1.0 - cache_bytes / std::max(1.0, static_cast<double>(trace.config.input_size)), 0.05, 1.0);
-
-  // ---- Map phase ----
-  {
-    PhaseWork w;
-    w.sig = &cal.map_sig;
-    w.costs = &cal.map_costs;
-    w.ntasks = static_cast<int>(trace.num_map_tasks());
-    w.mem_refs_per_inst = cal.map_sig.mem_refs_per_inst;
-    w.locality_theta = cal.map_sig.locality_theta;
-
-    // Map-output compression (mapreduce.map.output.compress): spills,
-    // the merged map output, and the shuffle shrink by the codec
-    // ratio; the codec itself costs CPU per uncompressed byte. For a
-    // map-only job disk_write_bytes is final HDFS output and stays
-    // uncompressed.
-    const bool compress = trace.config.compress_map_output;
-    const bool map_only = trace.reduce_tasks.empty();
-    const double cf = compress ? 1.0 / trace.config.compression_ratio : 1.0;
-    constexpr double kCodecInstPerByte = 0.8;
-
-    double ws_acc = 0;
-    for (const auto& t : trace.map_tasks) {
-      const auto& c = t.counters;
-      double spill_dev = c.spill_bytes * cf;
-      double write_dev = map_only ? c.disk_write_bytes : c.disk_write_bytes * cf;
-      // Spill re-reads hit the device only for the fraction the page
-      // cache (shared by active tasks) cannot hold.
-      double cache_share = cache_bytes / std::max(1, std::min(slots, w.ntasks));
-      double spill_vol = std::max(1.0, spill_dev);
-      double merge_miss = std::clamp(1.0 - cache_share / spill_vol, 0.0, 1.0);
-      double device = c.disk_read_bytes * read_miss + write_dev + spill_dev +
-                      c.merge_read_bytes * cf * merge_miss;
-      w.device_bytes += device;
-      w.seeks += c.disk_seeks;
-      w.total_inst += instructions_for(c, cal.map_costs, storage_, device);
-      if (compress) w.total_inst += kCodecInstPerByte * (c.spill_bytes + c.merge_read_bytes);
-
-      // Fault recovery: stragglers stretch their wave, failed/killed
-      // attempts burn instructions and disk volume, retries wait out
-      // their backoff.
-      w.time_factors.push_back(t.time_factor);
-      w.backoff_s += t.backoff_s;
-      if (t.attempts > 1) {
-        double wdev = (t.wasted.spill_bytes + t.wasted.merge_read_bytes) * cf +
-                      (map_only ? t.wasted.disk_write_bytes : t.wasted.disk_write_bytes * cf) +
-                      t.wasted.disk_read_bytes * read_miss;
-        w.device_bytes += wdev;
-        w.wasted_inst += instructions_for(t.wasted, cal.map_costs, storage_, wdev);
-      }
-      // Resident map state = one post-combine spill run (the live
-      // buffer region), not the raw emit stream: WordCount's combine
-      // table is tiny while Sort's buffer is the full spill size.
-      double run_size = c.spills > 0 ? c.spill_bytes / c.spills : c.emit_bytes;
-      double resident = std::min(static_cast<double>(trace.config.spill_buffer), run_size);
-      double ws = 512.0 * 1024 + cal.map_sig.working_set_per_input_byte * resident;
-      ws_acc += std::min(ws, cal.map_sig.ws_cap_bytes);
-    }
-    if (!trace.map_tasks.empty()) ws_acc /= static_cast<double>(trace.map_tasks.size());
-    w.ws_bytes = std::max(512.0 * 1024, ws_acc);
-    result.map = price_phase(w, freq, slots);
-  }
-
-  // ---- Reduce phase (includes shuffle) ----
-  if (!trace.reduce_tasks.empty()) {
-    PhaseWork w;
-    w.sig = &cal.reduce_sig;
-    w.costs = &cal.reduce_costs;
-    w.ntasks = static_cast<int>(trace.num_reduce_tasks());
-    w.mem_refs_per_inst = cal.reduce_sig.mem_refs_per_inst;
-    w.locality_theta = cal.reduce_sig.locality_theta;
-
-    const bool compress = trace.config.compress_map_output;
-    const double cf = compress ? 1.0 / trace.config.compression_ratio : 1.0;
-    constexpr double kCodecInstPerByte = 0.8;
-
-    double ws_acc = 0;
-    for (const auto& t : trace.reduce_tasks) {
-      const auto& c = t.counters;
-      double cache_share = cache_bytes / std::max(1, std::min(slots, w.ntasks));
-      double merge_vol = std::max(1.0, c.merge_read_bytes * cf);
-      double merge_miss = std::clamp(1.0 - cache_share / merge_vol, 0.0, 1.0);
-      double device =
-          c.disk_read_bytes * read_miss + c.disk_write_bytes + c.merge_read_bytes * cf * merge_miss;
-      w.device_bytes += device;
-      w.seeks += c.disk_seeks;
-      w.net_bytes += c.shuffle_bytes * cf * (static_cast<double>(cluster_.nodes - 1) /
-                                             static_cast<double>(cluster_.nodes));
-      w.total_inst += instructions_for(c, cal.reduce_costs, storage_, device);
-      if (compress) w.total_inst += kCodecInstPerByte * c.shuffle_bytes;
-
-      w.time_factors.push_back(t.time_factor);
-      w.backoff_s += t.backoff_s;
-      if (t.attempts > 1) {
-        // A restarted reducer re-pulls its map outputs: wasted shuffle
-        // volume crosses the NIC again.
-        double wdev = t.wasted.merge_read_bytes * cf + t.wasted.disk_write_bytes +
-                      t.wasted.disk_read_bytes * read_miss;
-        w.device_bytes += wdev;
-        w.net_bytes += t.wasted.shuffle_bytes * cf * (static_cast<double>(cluster_.nodes - 1) /
-                                                      static_cast<double>(cluster_.nodes));
-        w.wasted_inst += instructions_for(t.wasted, cal.reduce_costs, storage_, wdev);
-      }
-      double resident = 0.5 * c.shuffle_bytes + 0.3 * c.output_bytes;
-      double ws = 512.0 * 1024 + cal.reduce_sig.working_set_per_input_byte * resident;
-      ws_acc += std::min(ws, cal.reduce_sig.ws_cap_bytes);
-    }
-    ws_acc /= static_cast<double>(trace.reduce_tasks.size());
-    w.ws_bytes = std::max(512.0 * 1024, ws_acc);
-    result.reduce = price_phase(w, freq, slots);
-  }
-
-  // ---- Setup / cleanup ("Others") ----
-  {
-    PhaseWork w;
-    w.sig = &framework_signature();
-    w.costs = &cal.map_costs;
-    w.ntasks = 0;
-    double device = trace.setup.disk_read_bytes + trace.setup.disk_write_bytes;
-    w.device_bytes = device;
-    w.seeks = trace.setup.disk_seeks + trace.cleanup.disk_seeks;
-    w.total_inst = instructions_for(trace.setup, cal.map_costs, storage_, device) +
-                   instructions_for(trace.cleanup, cal.map_costs, storage_, 0.0);
-    w.fixed_s = dfs_.job_setup_s + dfs_.job_cleanup_s;
-    w.mem_refs_per_inst = framework_signature().mem_refs_per_inst;
-    w.locality_theta = framework_signature().locality_theta;
-    result.other = price_phase(w, freq, slots);
-  }
-
+  JobCost jc = extract_job_cost(trace, server_, storage_, dfs_, cluster_, slots);
+  result.map = price_phase(phase_work(jc.map), freq, slots);
+  if (!jc.reduce.empty()) result.reduce = price_phase(phase_work(jc.reduce), freq, slots);
+  result.other = price_phase(phase_work(jc.other), freq, slots);
   return result;
 }
 

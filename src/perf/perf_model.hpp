@@ -100,6 +100,7 @@ class PerfModel {
  private:
   struct PhaseWork;
   PhaseResult price_phase(const PhaseWork& w, Hertz freq, int slots) const;
+  PhaseWork phase_work(const struct PhaseCost& pc) const;
 
   arch::ServerConfig server_;
   hdfs::DfsConfig dfs_;

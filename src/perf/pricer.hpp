@@ -1,0 +1,150 @@
+// The pricer split: one extraction (perf/task_cost), two pricers.
+//
+//   AnalyticPricer — the paper-calibrated closed form (PerfModel::
+//   price), retained bit-identical: every golden, EXPERIMENTS table,
+//   and scheduler decision made against it stays valid.
+//
+//   EventPricer — replays the same per-task records on the sim kernel
+//   (sim/event_queue, sim/resource): tasks queue on a slot pool, their
+//   disk and NIC demands queue FIFO on shared devices, and wave
+//   shapes, stragglers, and (optionally) map/shuffle slowstart overlap
+//   emerge from the timeline. Both pricers share the calibrated
+//   serialization economics: the replayed phase time is floored at the
+//   closed form's `longest + overlap_penalty * rest`, so the event
+//   path can only add time the analytic model cannot see (queueing,
+//   wave quantization, straggler tails) — which keeps the two within a
+//   few percent on fault-free single-job traces while letting them
+//   diverge exactly where a timeline has more information.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "perf/perf_model.hpp"
+#include "perf/task_cost.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
+
+namespace bvl::perf {
+
+enum class PricerKind {
+  kAnalytic,  ///< closed-form phase model (the paper's methodology)
+  kEvent,     ///< discrete-event per-task replay
+};
+
+std::string to_string(PricerKind kind);
+
+/// A pricer turns a machine-independent JobTrace into per-phase
+/// time/power/energy on one concrete server at one operating point.
+class Pricer {
+ public:
+  virtual ~Pricer() = default;
+  virtual PricerKind kind() const = 0;
+  /// `slots` = concurrent task slots per node (0 = server core count).
+  virtual RunResult price(const mr::JobTrace& trace, Hertz freq, int slots = 0) const = 0;
+  virtual const arch::ServerConfig& server() const = 0;
+};
+
+class AnalyticPricer final : public Pricer {
+ public:
+  explicit AnalyticPricer(arch::ServerConfig server, hdfs::DfsConfig dfs = {},
+                          ClusterConfig cluster = {})
+      : model_(std::move(server), dfs, cluster) {}
+
+  PricerKind kind() const override { return PricerKind::kAnalytic; }
+  RunResult price(const mr::JobTrace& trace, Hertz freq, int slots = 0) const override {
+    return model_.price(trace, freq, slots);
+  }
+  const arch::ServerConfig& server() const override { return model_.server(); }
+  const PerfModel& model() const { return model_; }
+
+ private:
+  PerfModel model_;
+};
+
+struct EventOptions {
+  /// Fraction of a job's map tasks that must complete before its
+  /// reduce tasks become eligible (Hadoop's mapreduce.job.reduce.
+  /// slowstart.completedmaps). 1.0 — the default — keeps the phases
+  /// strictly serial, matching the closed form's additive phase
+  /// times; Hadoop ships 0.05, which overlaps shuffle with the map
+  /// tail. Phase floors are only applied in serial mode: once phases
+  /// overlap, the replayed timeline is authoritative.
+  double reduce_slowstart = 1.0;
+  /// false (default): every task of a phase carries the phase-mean
+  /// instruction count — the granularity the closed form (and its
+  /// calibration) is defined at; per-task variation still enters
+  /// through fault time factors, I/O volumes, and wave shape. true:
+  /// replay each task's own instruction count (partition skew becomes
+  /// visible, at the cost of drifting from the calibrated mean).
+  bool per_task_cpu = false;
+};
+
+/// One task's service demands on the replay timeline, plus its share
+/// of the phase's dynamic energy (for cluster-level accounting).
+struct SimTask {
+  Seconds cpu_s = 0;      ///< slot residency: compute + launch + master share
+  Seconds disk_svc_s = 0; ///< FIFO service demand on the shared disk
+  Seconds nic_svc_s = 0;  ///< FIFO service demand on the NIC
+  Seconds serial_s = 0;   ///< non-overlappable post-service slice
+  Seconds backoff_s = 0;  ///< retry backoff held on the slot
+  Joules energy = 0;      ///< share of phase dynamic energy
+
+  Seconds residency() const { return cpu_s + serial_s + backoff_s; }
+};
+
+/// A job rendered for timeline replay on one server type: per-task
+/// demands for map and reduce plus the closed-form "other" phase.
+struct JobSim {
+  std::vector<SimTask> map_tasks;
+  std::vector<SimTask> reduce_tasks;
+  Seconds other_s = 0;
+  Joules other_energy = 0;
+  RunResult priced;  ///< the single-node event-priced result
+};
+
+class EventPricer final : public Pricer {
+ public:
+  explicit EventPricer(arch::ServerConfig server, hdfs::DfsConfig dfs = {},
+                       ClusterConfig cluster = {}, EventOptions opts = {});
+
+  PricerKind kind() const override { return PricerKind::kEvent; }
+  RunResult price(const mr::JobTrace& trace, Hertz freq, int slots = 0) const override;
+  const arch::ServerConfig& server() const override { return server_; }
+  const EventOptions& options() const { return opts_; }
+
+  /// Renders `trace` into per-task timeline demands (and prices it on
+  /// a single node along the way). core/cluster_sim feeds these tasks
+  /// to a multi-node, multi-job timeline.
+  JobSim job_sim(const mr::JobTrace& trace, Hertz freq, int slots = 0) const;
+
+ private:
+  struct DerivedPhase;
+  DerivedPhase derive_phase(const PhaseCost& pc, Hertz freq, int slots) const;
+
+  arch::ServerConfig server_;
+  hdfs::DfsConfig dfs_;
+  ClusterConfig cluster_;
+  EventOptions opts_;
+  arch::CoreModel core_model_;
+  arch::StorageModel storage_;
+  power::PowerModel power_;
+  PerfModel analytic_;  ///< prices the task-less "other" phase
+};
+
+std::unique_ptr<Pricer> make_pricer(PricerKind kind, const arch::ServerConfig& server,
+                                    const hdfs::DfsConfig& dfs = {},
+                                    const ClusterConfig& cluster = {});
+
+/// Replays one task's demands on an already-held slot: compute starts
+/// now, the disk/NIC demands queue FIFO on the shared devices, and
+/// `on_complete` fires once all three finish plus the serial slice and
+/// any retry backoff. Shared by EventPricer (single node) and
+/// core/cluster_sim (multi-node rack) so a task means the same thing
+/// on both timelines. The caller releases the slot in `on_complete`.
+void replay_task_on_slot(sim::Simulation& sim, sim::ServiceQueue& disk, sim::ServiceQueue& nic,
+                         const SimTask& t, std::function<void()> on_complete);
+
+}  // namespace bvl::perf

@@ -1,0 +1,57 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace bvl::sim {
+
+void SimClock::advance_to(Seconds t) {
+  require(t >= now_, "SimClock: time must not run backwards");
+  now_ = t;
+}
+
+bool EventQueue::later(const Entry& a, const Entry& b) {
+  if (a.time != b.time) return a.time > b.time;
+  return a.seq > b.seq;
+}
+
+void EventQueue::push(Seconds time, std::function<void()> fn) {
+  require(static_cast<bool>(fn), "EventQueue: null event callback");
+  heap_.push_back(Entry{time, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+Seconds EventQueue::next_time() const {
+  require(!heap_.empty(), "EventQueue: next_time on empty queue");
+  return heap_.front().time;
+}
+
+void EventQueue::run_next(SimClock& clock) {
+  require(!heap_.empty(), "EventQueue: run_next on empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  clock.advance_to(e.time);
+  e.fn();
+}
+
+void Simulation::at(Seconds t, std::function<void()> fn) {
+  require(t >= clock_.now(), "Simulation: event scheduled in the past");
+  queue_.push(t, std::move(fn));
+}
+
+void Simulation::in(Seconds delay, std::function<void()> fn) {
+  require(delay >= 0, "Simulation: negative delay");
+  queue_.push(clock_.now() + delay, std::move(fn));
+}
+
+void Simulation::run() {
+  while (!queue_.empty()) {
+    queue_.run_next(clock_);
+    ++events_run_;
+  }
+}
+
+}  // namespace bvl::sim

@@ -1,0 +1,88 @@
+// Discrete-event simulation kernel: a clock and a binary-heap event
+// queue. Everything time-shaped in the repo — per-task phase replay
+// (perf/pricer), the multi-job rack mix (core/cluster_sim) — runs on
+// this one timeline, so wave shapes, slot contention, map/shuffle
+// overlap, and straggler stretch emerge from event ordering instead of
+// being scalar corrections bolted onto a closed form.
+//
+// Determinism: events at equal timestamps fire in submission order
+// (a monotone sequence number breaks heap ties), so a replay is a pure
+// function of its inputs — same trace, same schedule, bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace bvl::sim {
+
+/// Monotone simulated time. The queue owns advancement; user code only
+/// reads `now()`.
+class SimClock {
+ public:
+  Seconds now() const { return now_; }
+
+  /// Moves time forward. Rejects travel into the past — an event
+  /// scheduled before `now()` is a bug in the caller, not a policy.
+  void advance_to(Seconds t);
+
+ private:
+  Seconds now_ = 0;
+};
+
+/// Min-heap of (time, seq, callback). `seq` is the insertion order and
+/// breaks timestamp ties FIFO.
+class EventQueue {
+ public:
+  void push(Seconds time, std::function<void()> fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Only valid when !empty().
+  Seconds next_time() const;
+
+  /// Pops the earliest event, advances `clock` to its timestamp, and
+  /// runs its callback (which may push further events).
+  void run_next(SimClock& clock);
+
+ private:
+  struct Entry {
+    Seconds time = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+  /// std::*_heap comparator: a max-heap under "later-than" keeps the
+  /// earliest (time, seq) at the front.
+  static bool later(const Entry& a, const Entry& b);
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Clock + queue + run loop: the object a replay drives.
+class Simulation {
+ public:
+  Seconds now() const { return clock_.now(); }
+
+  /// Schedules `fn` at absolute time `t` (>= now()).
+  void at(Seconds t, std::function<void()> fn);
+
+  /// Schedules `fn` at now() + delay (delay >= 0).
+  void in(Seconds delay, std::function<void()> fn);
+
+  /// Runs events in (time, submission) order until the queue drains.
+  void run();
+
+  std::uint64_t events_run() const { return events_run_; }
+
+ private:
+  SimClock clock_;
+  EventQueue queue_;
+  std::uint64_t events_run_ = 0;
+};
+
+}  // namespace bvl::sim

@@ -143,6 +143,48 @@ TEST(PhaseResult, CombineWeightsPowerByTime) {
   EXPECT_DOUBLE_EQ(c.avg_ipc, (1.0 * 10 + 2.0 * 30) / 40);
 }
 
+TEST(PhaseResult, CombineOfTwoZeroDurationPhasesIsZeroNotNaN) {
+  // The time-weighted power/IPC means divide by combined time; an
+  // absent phase (map-only job, skipped reduce) must not poison the
+  // whole-run aggregate with 0/0.
+  PhaseResult zero;
+  PhaseResult c = PhaseResult::combine(zero, zero);
+  EXPECT_DOUBLE_EQ(c.time, 0.0);
+  EXPECT_DOUBLE_EQ(c.energy, 0.0);
+  EXPECT_DOUBLE_EQ(c.dynamic_power, 0.0);
+  EXPECT_DOUBLE_EQ(c.avg_ipc, 0.0);
+  EXPECT_FALSE(std::isnan(c.dynamic_power));
+  EXPECT_FALSE(std::isnan(c.avg_ipc));
+}
+
+TEST(PhaseResult, CombineWithZeroDurationPhaseKeepsOtherSide) {
+  PhaseResult a;
+  a.time = 12;
+  a.energy = 600;  // 50 W
+  a.avg_ipc = 1.5;
+  a.cpu_time = 7;
+  PhaseResult zero;
+  for (const PhaseResult& c : {PhaseResult::combine(a, zero), PhaseResult::combine(zero, a)}) {
+    EXPECT_DOUBLE_EQ(c.time, 12);
+    EXPECT_DOUBLE_EQ(c.energy, 600);
+    EXPECT_DOUBLE_EQ(c.dynamic_power, 50.0);
+    EXPECT_DOUBLE_EQ(c.avg_ipc, 1.5);
+    EXPECT_DOUBLE_EQ(c.cpu_time, 7);
+  }
+}
+
+TEST(RunResult, WholeOfMapOnlyJobHasFinitePower) {
+  // End to end: a priced map-only job (zero reduce phase) must fold
+  // into whole() without NaNs.
+  PerfModel model(arch::atom_c2758());
+  mr::JobTrace t = trace_for(wl::WorkloadId::kSort);
+  RunResult r = model.price(t, 1.8 * GHz, 4);
+  PhaseResult w = r.whole();
+  EXPECT_TRUE(std::isfinite(w.dynamic_power));
+  EXPECT_TRUE(std::isfinite(w.avg_ipc));
+  EXPECT_GT(w.time, 0);
+}
+
 // Property sweep: pricing stays finite/positive across the envelope.
 class PriceSweep
     : public ::testing::TestWithParam<std::tuple<int, double, int>> {};

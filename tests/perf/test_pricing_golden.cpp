@@ -1,0 +1,89 @@
+// Pricing-golden regression: pins the AnalyticPricer (PerfModel::price)
+// output bit-for-bit. The fixture tests/golden/PRICES.golden was
+// generated from the pre-refactor closed-form model; the pricer split
+// (perf/task_cost + perf/pricer) must reproduce every field to the
+// last IEEE bit — the refactor changed the code layout, not one
+// floating-point operation. Regenerate (only after an *intentional*
+// model change) with:
+//   BVL_UPDATE_GOLDEN=1 ./build/tests/test_perf --gtest_filter='PricingGolden.*'
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/characterizer.hpp"
+
+namespace bvl::perf {
+namespace {
+
+std::string fixture_path() { return std::string(BVL_GOLDEN_DIR) + "/PRICES.golden"; }
+
+void append_phase(std::ostringstream& out, const char* name, const PhaseResult& p) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  %s time=%.17g cpu=%.17g io=%.17g net=%.17g power=%.17g energy=%.17g ipc=%.17g\n",
+                name, p.time, p.cpu_time, p.io_time, p.net_time, p.dynamic_power, p.energy,
+                p.avg_ipc);
+  out << buf;
+}
+
+/// Every priced surface the fixture pins: six workloads x both servers
+/// x two frequencies x two slot counts at the reference block size.
+std::string render_all() {
+  core::Characterizer ch;
+  std::ostringstream out;
+  for (auto id : wl::all_workloads()) {
+    core::RunSpec spec;
+    spec.workload = id;
+    bool real = id == wl::WorkloadId::kNaiveBayes || id == wl::WorkloadId::kFpGrowth;
+    spec.input_size = real ? 10 * GB : 1 * GB;
+    for (const auto& server : arch::paper_servers()) {
+      for (Hertz freq : {1.2 * GHz, 1.8 * GHz}) {
+        for (int slots : {4, 8}) {
+          spec.freq = freq;
+          spec.mappers = slots;
+          RunResult r = ch.run(spec, server);
+          out << "run " << r.workload << " " << r.server << " freq=" << freq / GHz
+              << " slots=" << slots << "\n";
+          append_phase(out, "map", r.map);
+          append_phase(out, "reduce", r.reduce);
+          append_phase(out, "other", r.other);
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+TEST(PricingGolden, AnalyticPricerMatchesFixture) {
+  std::string live = render_all();
+  if (std::getenv("BVL_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream f(fixture_path());
+    ASSERT_TRUE(f.good()) << "cannot write " << fixture_path();
+    f << live;
+    GTEST_SKIP() << "fixture regenerated at " << fixture_path();
+  }
+  std::ifstream f(fixture_path());
+  ASSERT_TRUE(f.good()) << "missing fixture " << fixture_path()
+                        << " (run once with BVL_UPDATE_GOLDEN=1)";
+  std::stringstream want;
+  want << f.rdbuf();
+
+  // Compare line by line so a divergence names the first bad field.
+  std::istringstream a(want.str()), b(live);
+  std::string la, lb;
+  std::size_t line = 0;
+  while (std::getline(a, la)) {
+    ++line;
+    ASSERT_TRUE(std::getline(b, lb)) << "live output truncated at line " << line;
+    ASSERT_EQ(la, lb) << "first divergence at line " << line;
+  }
+  EXPECT_FALSE(std::getline(b, lb)) << "live output has extra lines after " << line;
+}
+
+}  // namespace
+}  // namespace bvl::perf
