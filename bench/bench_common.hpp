@@ -1,7 +1,8 @@
-// Shared helpers for the per-figure bench binaries. Each binary
-// regenerates one table/figure of the paper: same rows/series, printed
-// as an aligned text table (units are simulator seconds/joules; the
-// paper-facing quantity is the shape, see EXPERIMENTS.md).
+// Shared helpers for the bench binaries (the figure suite lives in
+// figures/ and is driven by bvl_repro; the binaries that remain on
+// this header are the extension studies and the engine microbench).
+// Units are simulator seconds/joules; the paper-facing quantity is
+// the shape, see EXPERIMENTS.md.
 #pragma once
 
 #include <cstdio>
@@ -13,6 +14,8 @@
 #include "core/classifier.hpp"
 #include "core/cost_model.hpp"
 #include "core/metrics.hpp"
+#include "report/emitters.hpp"
+#include "util/string_util.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -23,26 +26,50 @@ inline core::Characterizer& characterizer() {
   return ch;
 }
 
-/// Parses the flags shared by every figure bench and applies them to
-/// the shared characterizer. Currently:
+/// Prints the flags every bench accepts (benches may add their own on
+/// top — see each binary's header comment).
+inline void print_shared_flag_help(const char* prog) {
+  std::printf("usage: %s [options]\n", prog);
+  std::printf("shared options:\n");
+  std::printf("  --threads N   engine executor width per job (0 = hardware\n");
+  std::printf("                concurrency, 1 = serial; default 0). Printed\n");
+  std::printf("                tables are bit-identical at any width.\n");
+  std::printf("  --json PATH   write machine-readable results to PATH\n");
+  std::printf("                (benches that keep a BENCH_*.json ledger)\n");
+  std::printf("  --help        this message\n");
+}
+
+/// Parses the flags shared by every bench and applies them to the
+/// shared characterizer:
 ///   --threads N | --threads=N   engine executor width per job
-///                               (0 = hardware concurrency, 1 = serial;
-///                               default 0). The printed tables are
-///                               bit-identical at any width — the flag
-///                               only changes wall-clock.
-/// Unknown arguments are ignored so benches can add their own.
+///   --help                      print the shared flags and exit
+/// Malformed --threads values are rejected with an error (exit 2)
+/// instead of atoi's silent 0. Unknown arguments are left alone so
+/// benches can layer their own flags (e.g. --json).
 inline void init(int argc, char** argv) {
+  auto reject = [&](const std::string& value) {
+    std::fprintf(stderr, "%s: invalid --threads value '%s' (expected a non-negative integer)\n",
+                 argv[0], value.c_str());
+    std::exit(2);
+  };
   int threads = 0;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
-    if (a == "--threads" && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
+    std::string value;
+    if (a == "--help" || a == "-h") {
+      print_shared_flag_help(argv[0]);
+      std::exit(0);
+    } else if (a == "--threads") {
+      if (i + 1 >= argc) reject("<missing>");
+      value = argv[++i];
     } else if (a.rfind("--threads=", 0) == 0) {
-      threads = std::atoi(a.c_str() + 10);
+      value = a.substr(10);
     } else {
       continue;
     }
-    if (threads < 0) threads = 0;
+    auto parsed = parse_non_negative_int(value);
+    if (!parsed) reject(value);
+    threads = *parsed;
   }
   characterizer().set_exec_threads(threads);
 }
@@ -69,10 +96,7 @@ inline std::string freq_label(Hertz f) { return fmt_fixed(f / GHz, 1) + "GHz"; }
 
 inline void print_header(const std::string& title, const std::string& paper_ref,
                          const std::string& notes = "") {
-  std::printf("== %s ==\n", title.c_str());
-  std::printf("reproduces: %s\n", paper_ref.c_str());
-  if (!notes.empty()) std::printf("%s\n", notes.c_str());
-  std::printf("\n");
+  std::fputs(report::header_text(title, paper_ref, notes).c_str(), stdout);
 }
 
 /// One row of a machine-readable bench summary. records_per_s is 0
@@ -85,8 +109,9 @@ struct BenchJsonEntry {
 
 /// Parses a `--json PATH` / `--json=PATH` flag out of argv (same
 /// convention as --threads); returns the path or "" if absent. Benches
-/// that support it pass their results to write_bench_json so the repo's
-/// committed BENCH_*.json perf ledgers can be regenerated from CI runs.
+/// that support it pass their results to write_metrics_json so the
+/// repo's committed BENCH_*.json perf ledgers can be regenerated from
+/// CI runs.
 inline std::string parse_json_flag(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -96,30 +121,14 @@ inline std::string parse_json_flag(int argc, char** argv) {
   return "";
 }
 
-/// One row of a free-form metrics summary: a label plus named scalar
-/// metrics. For benches whose output is modeled quantities (seconds,
-/// joules, ED^xP) rather than a throughput figure.
-struct MetricsJsonRow {
-  std::string label;
-  std::vector<std::pair<std::string, double>> metrics;
-};
+/// Ledger row format shared with the report emitters (and with
+/// bvl_repro's --json output).
+using MetricsJsonRow = report::MetricsRow;
 
 /// Writes rows as a JSON array of {"bench": label, <metric>: value,
 /// ...} objects. Returns false if the file can't be opened.
 inline bool write_metrics_json(const std::string& path, const std::vector<MetricsJsonRow>& rows) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  std::fprintf(f, "[\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::fprintf(f, "  {\"bench\": \"%s\"", rows[i].label.c_str());
-    for (const auto& [name, value] : rows[i].metrics) {
-      std::fprintf(f, ", \"%s\": %.17g", name.c_str(), value);
-    }
-    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
-  std::fclose(f);
-  return true;
+  return report::write_metrics_json_file(path, rows);
 }
 
 /// Writes entries as a JSON array of {"bench", "ns_per_op",

@@ -1,0 +1,168 @@
+// bvl_repro: one driver for every reproduced paper artifact. Each
+// figure/table lives in bench/figures/ and registers a Report builder;
+// this binary lists them, runs one or all, checks their paper-shape
+// assertions and emits text/JSON/CSV. Figures run in one process and
+// share the characterizer's trace cache, so `--all` is far cheaper
+// than the historical one-binary-per-figure layout.
+//
+// usage: bvl_repro [--list] [--run ID]... [--all] [--check]
+//                  [--json DIR] [--csv DIR] [--threads N]
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "figures/figures.hpp"
+#include "report/emitters.hpp"
+#include "report/registry.hpp"
+
+using namespace bvl;
+
+namespace {
+
+void print_help(const char* prog) {
+  std::printf("usage: %s [options]\n", prog);
+  std::printf("options:\n");
+  std::printf("  --list        list every registered figure id and exit\n");
+  std::printf("  --run ID      build and print one figure (repeatable);\n");
+  std::printf("                paired ids (e.g. fig05/fig06) print their\n");
+  std::printf("                shared report\n");
+  std::printf("  --all         build and print every figure\n");
+  std::printf("  --check       append each figure's shape-assertion results\n");
+  std::printf("                and fail if any assertion fails\n");
+  std::printf("  --json DIR    also write DIR/BENCH_figures.json (ledger\n");
+  std::printf("                rows for every table of the selected figures)\n");
+  std::printf("  --csv DIR     also write one DIR/<group>_<table>.csv per\n");
+  std::printf("                table of the selected figures\n");
+  bench::print_shared_flag_help(prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report::FigureRegistry registry;
+  figs::register_all_figures(registry);
+
+  bool list = false, all = false, check = false, help = false;
+  std::string json_dir, csv_dir;
+  std::vector<std::string> run_ids;
+  bool bad_args = false;
+  auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s requires a value\n", argv[0], flag);
+      bad_args = true;
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--list") list = true;
+    else if (a == "--all") all = true;
+    else if (a == "--check") check = true;
+    else if (a == "--help" || a == "-h") help = true;
+    else if (a == "--run") {
+      if (const char* v = need_value(i, "--run")) run_ids.push_back(v);
+    } else if (a.rfind("--run=", 0) == 0) run_ids.push_back(a.substr(6));
+    else if (a == "--json") {
+      if (const char* v = need_value(i, "--json")) json_dir = v;
+    } else if (a.rfind("--json=", 0) == 0) json_dir = a.substr(7);
+    else if (a == "--csv") {
+      if (const char* v = need_value(i, "--csv")) csv_dir = v;
+    } else if (a.rfind("--csv=", 0) == 0) csv_dir = a.substr(6);
+    else if (a == "--threads" || a.rfind("--threads=", 0) == 0) {
+      if (a == "--threads") ++i;  // value consumed by bench::init below
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", argv[0], a.c_str());
+      return 2;
+    }
+  }
+  if (bad_args) return 2;
+  if (help) {
+    print_help(argv[0]);
+    return 0;
+  }
+  bench::init(argc, argv);  // strict --threads handling
+
+  if (list) {
+    for (const auto& def : registry.figures()) {
+      std::printf("%-7s %s\n", def.id.c_str(), def.title.c_str());
+      std::printf("        %s\n", def.paper_ref.c_str());
+      std::printf("        shape: %s\n", def.shape_note.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<std::string> groups;
+  if (all) {
+    groups = registry.groups();
+  } else {
+    for (const auto& id : run_ids) {
+      const report::FigureDef* def = registry.find(id);
+      if (def == nullptr) {
+        std::fprintf(stderr, "%s: unknown figure '%s' (see --list)\n", argv[0], id.c_str());
+        return 2;
+      }
+      std::string group = def->group.empty() ? def->id : def->group;
+      bool dup = false;
+      for (const auto& g : groups) dup = dup || g == group;
+      if (!dup) groups.push_back(group);
+    }
+  }
+  if (groups.empty()) {
+    print_help(argv[0]);
+    return 2;
+  }
+
+  for (const std::string* dir : {&json_dir, &csv_dir}) {
+    if (dir->empty()) continue;
+    std::error_code ec;
+    std::filesystem::create_directories(*dir, ec);  // open below reports failure
+  }
+
+  core::Characterizer& ch = bench::characterizer();
+  report::Context ctx{ch};
+  std::vector<report::MetricsRow> ledger;
+  int failed = 0;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    report::Report rep = registry.build(groups[i], ctx);
+    if (i > 0) std::printf("\n");
+    std::fputs(report::render_text(rep).c_str(), stdout);
+    if (check) {
+      std::fputs(report::render_checks_text(rep).c_str(), stdout);
+      failed += rep.failed_checks();
+    }
+    if (!json_dir.empty()) {
+      auto rows = report::metrics_rows(rep);
+      ledger.insert(ledger.end(), rows.begin(), rows.end());
+    }
+    if (!csv_dir.empty()) {
+      for (const auto& block : rep.blocks) {
+        if (!block.table) continue;
+        std::string path = csv_dir + "/" + rep.id + "_" + block.table->name + ".csv";
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+          std::fprintf(stderr, "%s: cannot write %s\n", argv[0], path.c_str());
+          return 1;
+        }
+        std::string csv = report::render_table_csv(*block.table);
+        std::fwrite(csv.data(), 1, csv.size(), f);
+        std::fclose(f);
+      }
+    }
+  }
+  if (!json_dir.empty()) {
+    std::string path = json_dir + "/BENCH_figures.json";
+    if (!report::write_metrics_json_file(path, ledger)) {
+      std::fprintf(stderr, "%s: cannot write %s\n", argv[0], path.c_str());
+      return 1;
+    }
+  }
+  if (check && failed > 0) {
+    std::fprintf(stderr, "%d shape assertion(s) failed\n", failed);
+    return 1;
+  }
+  return 0;
+}

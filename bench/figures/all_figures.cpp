@@ -1,0 +1,24 @@
+// Central registrar: every figure the bvl_repro driver can build.
+#include "figures/figures.hpp"
+
+namespace bvl::figs {
+
+void register_all_figures(report::FigureRegistry& r) {
+  register_fig01(r);
+  register_fig02(r);
+  register_fig03(r);
+  register_fig04(r);
+  register_fig0506(r);
+  register_fig0708(r);
+  register_fig09(r);
+  register_fig1011(r);
+  register_fig1213(r);
+  register_fig14(r);
+  register_fig15(r);
+  register_fig16(r);
+  register_fig17(r);
+  register_table3(r);
+  register_ablate(r);
+}
+
+}  // namespace bvl::figs

@@ -1,0 +1,32 @@
+// Internals shared by the figure builders: the sweep/label helpers
+// from bench_common plus printf-style prose formatting (the paper
+// commentary blocks are ported verbatim from the historical bench
+// binaries and pinned byte-identical by tests/report).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "figures/figures.hpp"
+#include "report/report.hpp"
+
+namespace bvl::figs {
+
+using report::Cell;
+using report::Context;
+using report::Report;
+using report::Table;
+
+/// snprintf into a std::string, for prose blocks with measured values.
+inline std::string strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buf[1024];
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace bvl::figs

@@ -1,0 +1,31 @@
+// Registration entry points for every reproduced paper artifact.
+// Each figXX file registers its figure ids (paired figures derived
+// from one sweep share a group and a builder); register_all_figures
+// is what bvl_repro and the figure tests call.
+#pragma once
+
+#include "report/registry.hpp"
+
+namespace bvl::figs {
+
+void register_fig01(report::FigureRegistry& r);
+void register_fig02(report::FigureRegistry& r);
+void register_fig03(report::FigureRegistry& r);
+void register_fig04(report::FigureRegistry& r);
+void register_fig0506(report::FigureRegistry& r);
+void register_fig0708(report::FigureRegistry& r);
+void register_fig09(report::FigureRegistry& r);
+void register_fig1011(report::FigureRegistry& r);
+void register_fig1213(report::FigureRegistry& r);
+void register_fig14(report::FigureRegistry& r);
+void register_fig15(report::FigureRegistry& r);
+void register_fig16(report::FigureRegistry& r);
+void register_fig17(report::FigureRegistry& r);
+void register_table3(report::FigureRegistry& r);
+void register_ablate(report::FigureRegistry& r);
+
+/// Registers the full paper evaluation: figs. 1-17, Table 3 and the
+/// design-choice ablations, in paper order.
+void register_all_figures(report::FigureRegistry& r);
+
+}  // namespace bvl::figs

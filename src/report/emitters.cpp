@@ -1,0 +1,119 @@
+#include "report/emitters.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace bvl::report {
+
+namespace {
+
+std::string fmt_full(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string render_table_text(const Table& table) {
+  TextTable t(table.columns);
+  for (const auto& row : table.rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const auto& c : row) cells.push_back(c.text);
+    t.add_row(std::move(cells));
+  }
+  return t.render();
+}
+
+}  // namespace
+
+std::string header_text(const std::string& title, const std::string& paper_ref,
+                        const std::string& notes) {
+  std::string out = "== " + title + " ==\n";
+  out += "reproduces: " + paper_ref + "\n";
+  if (!notes.empty()) out += notes + "\n";
+  out += "\n";
+  return out;
+}
+
+std::string render_text(const Report& rep) {
+  std::string out;
+  if (!rep.title.empty()) out = header_text(rep.title, rep.paper_ref, rep.notes);
+  for (const auto& block : rep.blocks) {
+    if (block.kind == Block::Kind::kTable) out += render_table_text(*block.table);
+    else out += block.text;
+  }
+  return out;
+}
+
+std::string render_checks_text(const Report& rep) {
+  TextTable t({"check", "status", "detail"});
+  for (const auto& c : rep.checks)
+    t.add_row({rep.id + "/" + c.name, c.passed ? "PASS" : "FAIL", c.detail});
+  return t.render();
+}
+
+std::vector<MetricsRow> metrics_rows(const Report& rep) {
+  std::vector<MetricsRow> rows;
+  for (const auto& block : rep.blocks) {
+    if (block.kind != Block::Kind::kTable) continue;
+    const Table& table = *block.table;
+    for (const auto& row : table.rows) {
+      MetricsRow out;
+      out.label = rep.id + "/" + table.name;
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (row[c].kind == Cell::Kind::kText) out.label += "/" + row[c].text;
+        else if (row[c].is_number()) out.metrics.emplace_back(table.columns[c], row[c].value);
+      }
+      if (!out.metrics.empty()) rows.push_back(std::move(out));
+    }
+  }
+  return rows;
+}
+
+std::string render_metrics_json(const std::vector<MetricsRow>& rows) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out += "  {\"bench\": \"" + rows[i].label + "\"";
+    for (const auto& [name, value] : rows[i].metrics) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf, ", \"%s\": %.17g", name.c_str(), value);
+      out += buf;
+    }
+    out += "}";
+    if (i + 1 < rows.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool write_metrics_json_file(const std::string& path, const std::vector<MetricsRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string body = render_metrics_json(rows);
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+std::string render_table_csv(const Table& table) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row(table.columns);
+  for (const auto& row : table.rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const auto& c : row) {
+      if (c.is_number()) cells.push_back(fmt_full(c.value));
+      else if (c.kind == Cell::Kind::kMissing) cells.emplace_back();
+      else cells.push_back(c.text);
+    }
+    csv.write_row(cells);
+  }
+  return out.str();
+}
+
+}  // namespace bvl::report

@@ -1,0 +1,57 @@
+// Pluggable emitters over report::Report:
+//   - text: the aligned tables + prose layout the bench binaries have
+//     always printed (byte-identical; pinned by tests/report goldens)
+//   - JSON: the {"bench": label, <metric>: value, ...} row format of
+//     the committed BENCH_*.json perf ledgers
+//   - CSV: one RFC-4180 file per table via util/csv
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/report.hpp"
+
+namespace bvl::report {
+
+/// One row of a free-form metrics summary: a label plus named scalar
+/// metrics. This is the row format of the repo's committed BENCH_*.json
+/// ledgers (historically bench_common::MetricsJsonRow).
+struct MetricsRow {
+  std::string label;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// The "== title ==" / "reproduces: ..." / notes header exactly as the
+/// bench binaries have always printed it.
+std::string header_text(const std::string& title, const std::string& paper_ref,
+                        const std::string& notes = "");
+
+/// Renders the full report as aligned text: provenance header (when
+/// the report has a title), then blocks in order. Shape checks are
+/// not rendered — the text output is pinned byte-identical to the
+/// pre-registry bench binaries.
+std::string render_text(const Report& rep);
+
+/// Renders the check outcomes as an aligned table (for --check).
+std::string render_checks_text(const Report& rep);
+
+/// Flattens every table into ledger rows. Row label:
+/// `<report id>/<table name>/<non-numeric cells joined with "/">`;
+/// metrics: one `<column header> = value` pair per numeric cell.
+/// Missing cells are omitted.
+std::vector<MetricsRow> metrics_rows(const Report& rep);
+
+/// Serializes rows as a JSON array of {"bench": label, <metric>:
+/// value, ...} objects — the exact committed-ledger format.
+std::string render_metrics_json(const std::vector<MetricsRow>& rows);
+
+/// Writes render_metrics_json to a file. Returns false if the file
+/// can't be opened.
+bool write_metrics_json_file(const std::string& path, const std::vector<MetricsRow>& rows);
+
+/// Renders one table as CSV: a header row of column names, then one
+/// row per table row. Numeric cells are emitted at full precision
+/// (%.17g), text cells verbatim, missing cells empty.
+std::string render_table_csv(const Table& table);
+
+}  // namespace bvl::report

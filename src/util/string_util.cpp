@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <limits>
 
 namespace bvl {
 
@@ -35,6 +36,17 @@ std::string to_lower(std::string_view s) {
 
 bool contains(std::string_view s, std::string_view needle) {
   return s.find(needle) != std::string_view::npos;
+}
+
+std::optional<int> parse_non_negative_int(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  long long value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + (c - '0');
+    if (value > std::numeric_limits<int>::max()) return std::nullopt;
+  }
+  return static_cast<int>(value);
 }
 
 std::string join(const std::vector<std::string>& parts, std::string_view sep) {

@@ -2,6 +2,7 @@
 // tokenizers. Kept allocation-light: tokenization walks string_views.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,5 +34,10 @@ std::string to_lower(std::string_view s);
 bool contains(std::string_view s, std::string_view needle);
 
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strict base-10 parse of a non-negative int for flag values.
+/// Rejects empty strings, signs, whitespace, trailing junk and
+/// overflow — nullopt instead of atoi's silent 0.
+std::optional<int> parse_non_negative_int(std::string_view s);
 
 }  // namespace bvl

@@ -1,0 +1,91 @@
+// Pins the figure registry end to end: every registered figure id,
+// byte-identical text output against the goldens captured from the
+// pre-registry bench binaries, and every paper-shape assertion green.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/characterizer.hpp"
+#include "figures/figures.hpp"
+#include "report/emitters.hpp"
+#include "report/registry.hpp"
+
+namespace bvl {
+namespace {
+
+report::FigureRegistry& registry() {
+  static report::FigureRegistry* reg = [] {
+    auto* r = new report::FigureRegistry();
+    figs::register_all_figures(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+report::Context& shared_context() {
+  static core::Characterizer ch;
+  static report::Context ctx{ch};
+  return ctx;
+}
+
+std::string read_golden(const std::string& group) {
+  std::ifstream in(std::string(BVL_FIGURE_GOLDEN_DIR) + "/" + group + ".txt",
+                   std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(FigureRegistry, EnumeratesAllNineteenFigures) {
+  std::vector<std::string> want{"fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
+                                "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+                                "fig15", "fig16", "fig17", "table3", "ablate"};
+  ASSERT_EQ(registry().figures().size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(registry().figures()[i].id, want[i]);
+    EXPECT_FALSE(registry().figures()[i].title.empty()) << want[i];
+    EXPECT_FALSE(registry().figures()[i].paper_ref.empty()) << want[i];
+    EXPECT_FALSE(registry().figures()[i].shape_note.empty()) << want[i];
+  }
+  std::vector<std::string> groups{"fig01", "fig02", "fig03", "fig04", "fig0506", "fig0708",
+                                  "fig09", "fig1011", "fig1213", "fig14", "fig15", "fig16",
+                                  "fig17", "table3", "ablate"};
+  EXPECT_EQ(registry().groups(), groups);
+  // Paired ids resolve to their shared group report.
+  EXPECT_EQ(registry().find("fig05")->group, "fig0506");
+  EXPECT_EQ(registry().find("fig06")->group, "fig0506");
+  EXPECT_EQ(registry().find("fig13")->group, "fig1213");
+}
+
+TEST(Figures, TextByteIdenticalToGoldenAndShapeChecksPass) {
+  for (const auto& group : registry().groups()) {
+    SCOPED_TRACE(group);
+    report::Report rep = registry().build(group, shared_context());
+    EXPECT_EQ(rep.id, group);
+    std::string golden = read_golden(group);
+    ASSERT_FALSE(golden.empty()) << "missing golden for " << group;
+    EXPECT_EQ(report::render_text(rep), golden);
+    EXPECT_FALSE(rep.checks.empty()) << group << " pins no shape assertions";
+    for (const auto& c : rep.checks)
+      EXPECT_TRUE(c.passed) << group << "/" << c.name << ": " << c.detail;
+  }
+}
+
+TEST(Figures, EveryTableYieldsLedgerRows) {
+  // Reuses the trace cache warmed by the golden test when run in one
+  // process; cheap either way for a single group.
+  report::Report rep = registry().build("fig09", shared_context());
+  auto rows = report::metrics_rows(rep);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].label, "fig09/edp_ratio/WC");
+  EXPECT_EQ(rows[0].metrics.size(), 5u);  // one per block size
+  // NB skips 32 MB, so its row carries one metric fewer.
+  EXPECT_EQ(rows[4].label, "fig09/edp_ratio/NB");
+  EXPECT_EQ(rows[4].metrics.size(), 4u);
+}
+
+}  // namespace
+}  // namespace bvl

@@ -1,0 +1,97 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bvl {
+namespace {
+
+// Minimal RFC-4180 reader, used only to round-trip CsvWriter output.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      row.push_back(field);
+      field.clear();
+    } else if (c == '\n') {
+      row.push_back(field);
+      field.clear();
+      rows.push_back(row);
+      row.clear();
+    } else {
+      field += c;
+    }
+  }
+  return rows;
+}
+
+std::string render(const std::vector<std::vector<std::string>>& rows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  for (const auto& r : rows) w.write_row(r);
+  return out.str();
+}
+
+TEST(CsvEscape, PlainFieldUnchanged) { EXPECT_EQ(CsvWriter::escape("hello"), "hello"); }
+
+TEST(CsvEscape, CommaForcesQuoting) { EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscape, QuoteDoubledAndQuoted) { EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\""); }
+
+TEST(CsvEscape, NewlineAndCarriageReturnQuoted) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(CsvWriter::escape("a\rb"), "\"a\rb\"");
+}
+
+TEST(CsvWrite, RowJoinsWithCommasAndEndsWithNewline) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"app", "EDP", "note"});
+  EXPECT_EQ(out.str(), "app,EDP,note\n");
+}
+
+TEST(CsvWrite, EmptyFieldsPreserved) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"", "x", ""});
+  EXPECT_EQ(out.str(), ",x,\n");
+}
+
+TEST(CsvRoundTrip, EmbeddedCommasQuotesAndNewlines) {
+  std::vector<std::vector<std::string>> rows{
+      {"plain", "with,comma", "with \"quotes\""},
+      {"multi\nline", "trailing\n", ",,"},
+      {"", "\"", "a\r\nb"},
+  };
+  EXPECT_EQ(parse_csv(render(rows)), rows);
+}
+
+TEST(CsvRoundTrip, ManyRowsStayAligned) {
+  std::vector<std::vector<std::string>> rows;
+  for (int i = 0; i < 50; ++i)
+    rows.push_back({std::to_string(i), "v," + std::to_string(i), std::to_string(i) + "\n!"});
+  EXPECT_EQ(parse_csv(render(rows)), rows);
+}
+
+}  // namespace
+}  // namespace bvl

@@ -48,5 +48,30 @@ TEST(Join, WithSeparator) {
   EXPECT_EQ(join({}, ","), "");
 }
 
+TEST(ParseNonNegativeInt, AcceptsPlainDigits) {
+  EXPECT_EQ(parse_non_negative_int("0"), 0);
+  EXPECT_EQ(parse_non_negative_int("7"), 7);
+  EXPECT_EQ(parse_non_negative_int("128"), 128);
+}
+
+TEST(ParseNonNegativeInt, RejectsEmptyAndSigns) {
+  EXPECT_FALSE(parse_non_negative_int("").has_value());
+  EXPECT_FALSE(parse_non_negative_int("-1").has_value());
+  EXPECT_FALSE(parse_non_negative_int("+4").has_value());
+}
+
+TEST(ParseNonNegativeInt, RejectsTrailingJunkAndWhitespace) {
+  EXPECT_FALSE(parse_non_negative_int("4x").has_value());
+  EXPECT_FALSE(parse_non_negative_int(" 4").has_value());
+  EXPECT_FALSE(parse_non_negative_int("4 ").has_value());
+  EXPECT_FALSE(parse_non_negative_int("1.5").has_value());
+}
+
+TEST(ParseNonNegativeInt, RejectsOverflow) {
+  EXPECT_EQ(parse_non_negative_int("2147483647"), 2147483647);
+  EXPECT_FALSE(parse_non_negative_int("2147483648").has_value());
+  EXPECT_FALSE(parse_non_negative_int("99999999999999999999").has_value());
+}
+
 }  // namespace
 }  // namespace bvl
