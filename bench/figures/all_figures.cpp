@@ -19,6 +19,7 @@ void register_all_figures(report::FigureRegistry& r) {
   register_fig17(r);
   register_table3(r);
   register_ablate(r);
+  register_service(r);
 }
 
 }  // namespace bvl::figs

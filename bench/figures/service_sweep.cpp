@@ -1,0 +1,156 @@
+// Service sweep (extension): the open job-stream question the paper's
+// fixed-mix makespan comparison cannot ask — at which offered load
+// does each iso-power rack keep its p99 latency and energy-per-job,
+// and where does the heterogeneous rack's EDP win survive queueing?
+// Jobs arrive as a seeded Poisson stream (diurnally modulated) from
+// two fair-share tenants and are task-dispatched onto the rack by the
+// class-aware policy; the reported steady-state latency quantiles,
+// per-class utilization and energy/job come from core::simulate_service
+// (see DESIGN.md 3e).
+#include "figures/fig_util.hpp"
+#include "core/cluster_sim.hpp"
+
+namespace bvl::figs {
+namespace {
+
+std::vector<core::TenantWorkload> service_tenants() {
+  core::TenantWorkload cpu;
+  cpu.tenant = {"cpu-batch", 1.0, 0, 1.0};
+  cpu.mix = {{wl::WorkloadId::kWordCount, 1 * GB}, {wl::WorkloadId::kGrep, 1 * GB}};
+  core::TenantWorkload io;
+  io.tenant = {"io-batch", 1.0, 0, 1.0};
+  io.mix = {{wl::WorkloadId::kSort, 1 * GB}, {wl::WorkloadId::kTeraSort, 1 * GB}};
+  return {cpu, io};
+}
+
+core::ServiceOptions service_opts(double rate) {
+  core::ServiceOptions opts;
+  opts.arrival_rate = rate;
+  opts.diurnal.amplitude = 0.3;
+  opts.horizon = 2 * 3600.0;
+  opts.warmup = 600.0;
+  opts.seed = 1;
+  opts.mix.slots_per_node = 4;
+  return opts;
+}
+
+std::vector<double> load_sweep() { return {0.02, 0.08, 0.2, 0.35}; }
+
+Report build(Context& ctx) {
+  Report rep;
+  rep.title = "Service sweep - offered load x iso-power rack: p99 latency and energy/job";
+  rep.paper_ref = "extension of Sec. 3.5 to an open job stream";
+  rep.notes = "seeded Poisson arrivals, diurnal amplitude 0.3, 2 fair-share tenants";
+
+  auto racks = core::comparison_racks(4);
+  const std::vector<std::string> rack_names{"all-big", "all-little", "hetero"};
+  auto tenants = service_tenants();
+
+  Table t("service_sweep",
+          {"rack", "load[j/s]", "jobs", "p50[s]", "p99[s]", "qdelay[s]", "util big",
+           "util little", "kJ/job", "EDP"});
+  // results[rack][load]
+  std::vector<std::vector<core::ServiceResult>> results(racks.size());
+  for (std::size_t r = 0; r < racks.size(); ++r) {
+    for (double rate : load_sweep()) {
+      core::ServiceResult res =
+          core::simulate_service(ctx.ch, tenants, racks[r], service_opts(rate));
+      double util_big = 0, util_little = 0;
+      for (const auto& c : res.classes) {
+        if (c.node_type == arch::xeon_e5_2420().name) util_big = c.slot_utilization;
+        else util_little = c.slot_utilization;
+      }
+      t.add_row({Cell::txt(rack_names[r]), report::fixed(rate, 2),
+                 Cell::txt(fmt_num(res.measured_jobs)), report::fixed(res.sojourn.p50, 1),
+                 report::fixed(res.sojourn.p99, 1), report::fixed(res.queue_delay.mean, 1),
+                 report::fixed(util_big, 2), report::fixed(util_little, 2),
+                 report::fixed((res.dynamic_energy + res.idle_energy) /
+                                   std::max(1, res.measured_jobs) / 1e3,
+                               1),
+                 report::sci(res.service_edxp(1))});
+      results[r].push_back(std::move(res));
+    }
+  }
+  rep.add(std::move(t));
+  rep.text(
+      "\npaper shape, extended: at low load the all-big rack wins service EDP\n"
+      "outright - its jobs finish fastest and the iso-power idle draw is the\n"
+      "same everywhere. But iso-power hands the little tier ~3.5x the task\n"
+      "slots, so as offered load grows the big rack is the FIRST to hit its\n"
+      "queueing wall (utilization pins at 1.0 and p99 explodes), and the\n"
+      "heterogeneous rack's EDP win appears exactly where queueing begins:\n"
+      "past the crossover load it beats the all-big rack on energy/job x p99\n"
+      "while holding a far better p99 than the big rack can.\n");
+
+  const std::size_t lo = 0, hi = load_sweep().size() - 1;
+
+  // Load must hurt: every rack's p99 is worse at the top of the sweep.
+  bool tails_grow = true;
+  std::string tails_detail;
+  for (std::size_t r = 0; r < racks.size(); ++r) {
+    double p99_lo = results[r][lo].sojourn.p99;
+    double p99_hi = results[r][hi].sojourn.p99;
+    if (p99_hi <= p99_lo) tails_grow = false;
+    tails_detail += strf("%s %.0fs->%.0fs; ", rack_names[r].c_str(), p99_lo, p99_hi);
+  }
+  rep.check("p99-grows-with-offered-load-on-every-rack", tails_grow, tails_detail);
+
+  // The EDP crossover: the all-big rack starts ahead on service EDP
+  // (energy/job x p99), the hetero rack overtakes it at some load in
+  // the sweep and stays ahead through the top — the queueing-aware
+  // version of the paper's EDP claim.
+  const auto& big = results[0];
+  const auto& het = results[2];
+  std::size_t cross = load_sweep().size();
+  for (std::size_t k = 0; k < load_sweep().size(); ++k) {
+    if (het[k].service_edxp(1) < big[k].service_edxp(1)) {
+      cross = k;
+      break;
+    }
+  }
+  bool crossover = cross > 0 && cross < load_sweep().size();
+  for (std::size_t k = cross; crossover && k < load_sweep().size(); ++k) {
+    crossover = het[k].service_edxp(1) < big[k].service_edxp(1);
+  }
+  rep.check("hetero-edp-overtakes-all-big-once-queueing-starts", crossover,
+            cross < load_sweep().size()
+                ? strf("crossover at %.2f jobs/s (EDP %.2e vs %.2e)", load_sweep()[cross],
+                       het[cross].service_edxp(1), big[cross].service_edxp(1))
+                : "hetero never overtakes");
+
+  // Iso-power gives the little tier the most queueing slack: at the
+  // top of the sweep the mean queueing delay orders big > hetero >
+  // little.
+  double qd_big = results[0][hi].queue_delay.mean;
+  double qd_het = results[2][hi].queue_delay.mean;
+  double qd_lit = results[1][hi].queue_delay.mean;
+  rep.check("big-rack-queues-first-under-iso-power", qd_big > qd_het && qd_het > qd_lit,
+            strf("qdelay at %.2f j/s: big %.1fs, hetero %.1fs, little %.1fs", load_sweep()[hi],
+                 qd_big, qd_het, qd_lit));
+
+  // Little's law held on every run (simulate_service require()s the
+  // identity; surface it as an explicit shape result too).
+  bool little_ok = true;
+  for (const auto& per_rack : results) {
+    for (const auto& res : per_rack) {
+      double scale = std::max(1.0, res.little_l);
+      if (std::abs(res.little_l - res.little_lambda_w) > 1e-6 * scale) little_ok = false;
+    }
+  }
+  rep.check("littles-law-L-equals-lambda-W-on-every-run", little_ok);
+
+  return rep;
+}
+
+}  // namespace
+
+void register_service(report::FigureRegistry& r) {
+  r.add({"service", "", "Service sweep: offered load x rack mix under an open job stream",
+         "extension of Sec. 3.5 (open stream, queueing)",
+         "p99 grows with load on every rack; the all-big rack queues first under iso-power and "
+         "the hetero rack overtakes it on service EDP once queueing starts; Little's law holds "
+         "on every run",
+         build});
+}
+
+}  // namespace bvl::figs

@@ -12,7 +12,9 @@
 #include "perf/pricer.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/resource.hpp"
+#include "sim/workload/quantile.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace bvl::core {
@@ -52,6 +54,19 @@ struct TaskRef {
   std::size_t task = 0;
   std::size_t rr_node = 0;  ///< static target under kRoundRobin
 };
+
+/// Estimated duration of task `t` once started on `n` after `delay`:
+/// compute in parallel with whatever device backlog will remain at
+/// that start time, plus the serial tail. Shared verbatim by the
+/// batch and service dispatchers so a task means the same thing on
+/// both timelines.
+Seconds est_task_duration(const perf::SimTask& t, const Node& n, Seconds now, Seconds delay) {
+  Seconds start = now + delay;
+  Seconds disk_delay = std::max<Seconds>(0, n.disk->free_at() - start);
+  Seconds nic_delay = std::max<Seconds>(0, n.nic->free_at() - start);
+  return std::max({t.cpu_s, disk_delay + t.disk_svc_s, nic_delay + t.nic_svc_s}) + t.serial_s +
+         t.backoff_s;
+}
 
 struct JobState {
   AppClass cls = AppClass::kHybrid;
@@ -179,16 +194,8 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
     return tr.phase == 0 ? p.map_tasks[tr.task] : p.reduce_tasks[tr.task];
   };
 
-  // Estimated duration of `tr` once started on `n` after `delay`:
-  // compute in parallel with whatever device backlog will remain at
-  // that start time, plus the serial tail.
   auto est_duration = [&](const TaskRef& tr, const Node& n, Seconds delay) {
-    const perf::SimTask& t = task_for(tr, n.type_id);
-    Seconds start = sim.now() + delay;
-    Seconds disk_delay = std::max<Seconds>(0, n.disk->free_at() - start);
-    Seconds nic_delay = std::max<Seconds>(0, n.nic->free_at() - start);
-    return std::max({t.cpu_s, disk_delay + t.disk_svc_s, nic_delay + t.nic_svc_s}) + t.serial_s +
-           t.backoff_s;
+    return est_task_duration(task_for(tr, n.type_id), n, sim.now(), delay);
   };
   // ETF signal: estimated completion of `tr` on `n`, counting the
   // wait for `n`'s earliest slot when the node is full. Lets the
@@ -349,6 +356,504 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
     u.slot_utilization = end > 0 ? u.busy_slot_s / (static_cast<double>(u.slots) * end) : 0.0;
     result.total_energy += idle;
     result.nodes.push_back(std::move(u));
+  }
+  return result;
+}
+
+namespace {
+
+/// Per-job state of the open stream. Unlike the batch JobState this
+/// carries arrival/measurement bookkeeping and a live task count — a
+/// service job's lifetime is arrival -> last task -> finalize, not
+/// "part of the one mix".
+struct ServiceJob {
+  int tenant = 0;
+  bool prefers_big = false;
+  bool measured = false;
+  Seconds arrival = 0;
+  std::vector<const perf::JobSim*> profile;  ///< per node type
+  int nmaps = 0;
+  int maps_done = 0;
+  int slowstart_after = 0;
+  bool reduces_enqueued = false;
+  int remaining = 0;  ///< tasks not yet completed
+  Seconds first_start = std::numeric_limits<double>::infinity();
+  Joules energy = 0;
+  std::map<std::string, int> tasks_by_type;
+};
+
+/// Ordered node indexes for one node type: the incremental dispatcher
+/// consults set fronts instead of scanning the rack, so a placement
+/// decision is O(log n) in rack size instead of O(n).
+///
+/// `free_nodes` orders nodes with a free slot by their absolute device
+/// backlog (max of disk/nic free_at) — the part of the ETF estimate
+/// that varies across free nodes of one type. `busy_nodes` orders full
+/// nodes by their earliest estimated task end, the ETF wait term. Both
+/// keys only change at task start/completion, exactly where reindex()
+/// is called.
+struct TypeIndex {
+  std::set<std::pair<double, std::size_t>> free_nodes;
+  std::set<std::pair<double, std::size_t>> busy_nodes;
+};
+
+}  // namespace
+
+double ServiceResult::service_edxp(int x) const { return edxp_value(energy_per_job, sojourn.p99, x); }
+
+ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorkload>& tenants,
+                               const std::vector<NodeSpec>& rack, const ServiceOptions& opts,
+                               int exec_threads) {
+  require(!tenants.empty(), "simulate_service: no tenants");
+  require(opts.arrival_rate > 0, "simulate_service: arrival_rate must be > 0");
+  require(opts.horizon > 0, "simulate_service: horizon must be > 0");
+  require(opts.warmup >= 0 && opts.warmup < opts.horizon,
+          "simulate_service: need 0 <= warmup < horizon");
+  require(opts.mix.reduce_slowstart > 0 && opts.mix.reduce_slowstart <= 1.0,
+          "simulate_service: reduce_slowstart must be in (0, 1]");
+  double total_share = 0;
+  for (const auto& t : tenants) {
+    require(!t.mix.empty(), "simulate_service: tenant with empty job mix");
+    require(t.tenant.arrival_share >= 0, "simulate_service: negative arrival_share");
+    total_share += t.tenant.arrival_share;
+  }
+  require(total_share > 0, "simulate_service: all arrival shares are zero");
+
+  // ---- Expand the rack (same shape as simulate_mix) ----
+  std::vector<const arch::ServerConfig*> types;
+  std::vector<Node> nodes;
+  sim::Simulation sim;
+  for (const auto& spec : rack) {
+    require(spec.count >= 1, "simulate_service: node count must be >= 1");
+    int type_id = -1;
+    for (std::size_t t = 0; t < types.size(); ++t) {
+      if (types[t]->name == spec.server.name) type_id = static_cast<int>(t);
+    }
+    if (type_id < 0) {
+      type_id = static_cast<int>(types.size());
+      types.push_back(&spec.server);
+    }
+    for (int i = 0; i < spec.count; ++i) {
+      Node n;
+      n.server = &spec.server;
+      n.type_id = type_id;
+      n.index = i;
+      n.slots = std::make_unique<sim::SlotPool>(sim, task_slots_for(spec.server, opts.mix));
+      n.disk = std::make_unique<sim::ServiceQueue>(sim);
+      n.nic = std::make_unique<sim::ServiceQueue>(sim);
+      nodes.push_back(std::move(n));
+    }
+  }
+  require(!nodes.empty(), "simulate_service: empty rack");
+
+  // ---- Pre-characterize every distinct spec of every mix in parallel ----
+  std::vector<RunSpec> distinct;
+  {
+    std::set<std::pair<int, Bytes>> seen;
+    for (const auto& t : tenants) {
+      for (const auto& job : t.mix) {
+        if (!seen.insert({static_cast<int>(job.workload), job.input_size}).second) continue;
+        RunSpec spec;
+        spec.workload = job.workload;
+        spec.input_size = job.input_size;
+        distinct.push_back(spec);
+      }
+    }
+    parallel_for(exec_threads, distinct.size(), [&](std::size_t i) { ch.trace(distinct[i]); });
+  }
+  std::map<std::tuple<int, Bytes, int>, perf::JobSim> profiles;
+  std::map<int, bool> prefers_big_by_workload;
+  for (const auto& spec : distinct) {
+    const mr::JobTrace& trace = ch.trace(spec);
+    for (std::size_t t = 0; t < types.size(); ++t) {
+      profiles.emplace(
+          std::make_tuple(static_cast<int>(spec.workload), spec.input_size, static_cast<int>(t)),
+          ch.event_pricer(*types[t]).job_sim(trace, spec.freq,
+                                             task_slots_for(*types[t], opts.mix)));
+    }
+    int w = static_cast<int>(spec.workload);
+    if (prefers_big_by_workload.find(w) == prefers_big_by_workload.end()) {
+      AppClass cls = classify_workload(ch, spec.workload);
+      prefers_big_by_workload[w] = schedule_by_class(cls, Goal::edp()).uses_xeon();
+    }
+  }
+
+  // ---- Incremental per-type node indexes ----
+  std::vector<TypeIndex> index(types.size());
+  std::vector<std::pair<double, std::size_t>> node_key(nodes.size());
+  std::vector<bool> node_in_free(nodes.size(), false);
+  auto device_backlog = [&](const Node& n) {
+    return std::max(n.disk->free_at(), n.nic->free_at());
+  };
+  auto index_insert = [&](std::size_t flat) {
+    Node& n = nodes[flat];
+    TypeIndex& ix = index[static_cast<std::size_t>(n.type_id)];
+    if (n.has_free_slot()) {
+      node_key[flat] = {device_backlog(n), flat};
+      node_in_free[flat] = true;
+      ix.free_nodes.insert(node_key[flat]);
+    } else {
+      node_key[flat] = {n.est_ends.empty() ? 0.0 : *n.est_ends.begin(), flat};
+      node_in_free[flat] = false;
+      ix.busy_nodes.insert(node_key[flat]);
+    }
+  };
+  auto index_remove = [&](std::size_t flat) {
+    TypeIndex& ix = index[static_cast<std::size_t>(nodes[flat].type_id)];
+    if (node_in_free[flat]) {
+      ix.free_nodes.erase(node_key[flat]);
+    } else {
+      ix.busy_nodes.erase(node_key[flat]);
+    }
+  };
+  auto reindex = [&](std::size_t flat) {
+    index_remove(flat);
+    index_insert(flat);
+  };
+  for (std::size_t i = 0; i < nodes.size(); ++i) index_insert(i);
+
+  // ---- Tenants, queues, streams ----
+  std::vector<sim::TenantSpec> specs;
+  specs.reserve(tenants.size());
+  for (const auto& t : tenants) specs.push_back(t.tenant);
+  sim::FairShareQueue fsq(std::move(specs));
+  const int ntenants = static_cast<int>(tenants.size());
+
+  sim::ArrivalProcess arrivals_rng(opts.arrival_rate, opts.diurnal, opts.seed);
+  // Tenant/mix picks draw from their own stream so adding a tenant
+  // never perturbs the arrival *times*, only the assignment.
+  Pcg32 pick_rng(opts.seed, 0x74656e616e74ULL);
+
+  std::vector<ServiceJob> jobs;
+  std::vector<TaskRef> task_pool;  ///< FairShareQueue items index into this
+  std::size_t rr_counter = 0;
+
+  auto task_for = [&](const TaskRef& tr, int type_id) -> const perf::SimTask& {
+    const perf::JobSim& p = *jobs[tr.job].profile[static_cast<std::size_t>(type_id)];
+    return tr.phase == 0 ? p.map_tasks[tr.task] : p.reduce_tasks[tr.task];
+  };
+
+  // ---- Steady-state accounting ----
+  const Seconds window = opts.horizon - opts.warmup;
+  sim::LatencySketch sojourn;
+  sim::LatencySketch queue_delay;
+  int arrivals = 0;
+  int measured_jobs = 0;
+  Joules dynamic_energy = 0;
+  std::vector<int> tenant_jobs(static_cast<std::size_t>(ntenants), 0);
+  std::vector<double> tenant_sojourn(static_cast<std::size_t>(ntenants), 0.0);
+  // Little's-law timeline integral of the measured in-system count.
+  int live_measured = 0;
+  double l_integral = 0;
+  Seconds l_last = 0;
+  auto l_advance = [&] {
+    l_integral += static_cast<double>(live_measured) * (sim.now() - l_last);
+    l_last = sim.now();
+  };
+
+  // Utilization snapshots bracketing the measurement window.
+  std::vector<Seconds> busy0(nodes.size(), 0), busy1(nodes.size(), 0);
+  sim.at(opts.warmup, [&] {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      busy0[i] = nodes[i].slots->busy_slot_seconds(opts.warmup);
+    }
+  });
+  sim.at(opts.horizon, [&] {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      busy1[i] = nodes[i].slots->busy_slot_seconds(opts.horizon);
+    }
+  });
+
+  // ---- Dispatch: fair-share order, incremental node selection ----
+  const std::string big = arch::xeon_e5_2420().name;
+  std::vector<bool> is_big_type(types.size(), false);
+  for (std::size_t t = 0; t < types.size(); ++t) is_big_type[t] = types[t]->name == big;
+
+  // ETF candidates come from the index fronts: the best free node of a
+  // type is the one with the least device backlog; the best full node
+  // is the one whose earliest task-end estimate is soonest.
+  auto consider_free = [&](std::size_t t, const TaskRef& tr, Node*& best, Seconds& best_est) {
+    const TypeIndex& ix = index[t];
+    if (ix.free_nodes.empty()) return;
+    Node& n = nodes[ix.free_nodes.begin()->second];
+    Seconds est = est_task_duration(task_for(tr, n.type_id), n, sim.now(), 0);
+    if (est < best_est) {
+      best_est = est;
+      best = &n;
+    }
+  };
+  auto consider_busy = [&](std::size_t t, const TaskRef& tr, Node*& best, Seconds& best_est) {
+    const TypeIndex& ix = index[t];
+    if (ix.busy_nodes.empty()) return;
+    Node& n = nodes[ix.busy_nodes.begin()->second];
+    Seconds delay = n.est_slot_delay(sim.now());
+    Seconds est = delay + est_task_duration(task_for(tr, n.type_id), n, sim.now(), delay);
+    if (est < best_est) {
+      best_est = est;
+      best = &n;
+    }
+  };
+  // nullptr = defer: nothing suitable is free, or the ETF winner is a
+  // full node worth waiting for (a completion re-runs dispatch).
+  auto pick_node = [&](const TaskRef& tr) -> Node* {
+    if (opts.policy == MixPolicy::kRoundRobin) {
+      Node& n = nodes[tr.rr_node];
+      return n.has_free_slot() ? &n : nullptr;
+    }
+    const ServiceJob& j = jobs[tr.job];
+    Node* best = nullptr;
+    Seconds best_est = std::numeric_limits<double>::infinity();
+    if (opts.policy == MixPolicy::kClassAware) {
+      // Same contract as simulate_mix: a free preferred-type slot
+      // always wins; otherwise weigh waiting for a preferred slot
+      // against spilling to the other type's free slot.
+      for (std::size_t t = 0; t < types.size(); ++t) {
+        if (is_big_type[t] == j.prefers_big) consider_free(t, tr, best, best_est);
+      }
+      if (best != nullptr) return best;
+      for (std::size_t t = 0; t < types.size(); ++t) {
+        if (is_big_type[t] == j.prefers_big) {
+          consider_free(t, tr, best, best_est);
+          consider_busy(t, tr, best, best_est);
+        } else {
+          consider_free(t, tr, best, best_est);
+        }
+      }
+    } else {
+      for (std::size_t t = 0; t < types.size(); ++t) {
+        consider_free(t, tr, best, best_est);
+        consider_busy(t, tr, best, best_est);
+      }
+    }
+    if (best != nullptr && !best->has_free_slot()) return nullptr;
+    return best;
+  };
+
+  std::function<void()> dispatch;  // completions re-enter it
+  std::function<void(std::size_t)> on_task_done;
+
+  auto enqueue_reduces = [&](std::size_t ji) {
+    ServiceJob& j = jobs[ji];
+    if (j.reduces_enqueued) return;
+    j.reduces_enqueued = true;
+    const auto& reduces = j.profile[0]->reduce_tasks;
+    for (std::size_t i = 0; i < reduces.size(); ++i) {
+      task_pool.push_back({ji, 1, i, rr_counter++ % nodes.size()});
+      fsq.enqueue(j.tenant, task_pool.size() - 1);
+    }
+  };
+
+  auto finalize_job = [&](std::size_t ji) {
+    ServiceJob& j = jobs[ji];
+    int primary = 0;
+    int best_count = -1;
+    for (std::size_t t = 0; t < types.size(); ++t) {
+      auto it = j.tasks_by_type.find(types[t]->name);
+      int count = it == j.tasks_by_type.end() ? 0 : it->second;
+      if (count > best_count) {
+        best_count = count;
+        primary = static_cast<int>(t);
+      }
+    }
+    j.energy += j.profile[static_cast<std::size_t>(primary)]->other_energy;
+    if (!j.measured) return;
+    l_advance();
+    --live_measured;
+    Seconds s = sim.now() - j.arrival;
+    sojourn.add(s);
+    Seconds first = j.first_start == std::numeric_limits<double>::infinity() ? sim.now()
+                                                                             : j.first_start;
+    queue_delay.add(first - j.arrival);
+    dynamic_energy += j.energy;
+    ++measured_jobs;
+    tenant_jobs[static_cast<std::size_t>(j.tenant)] += 1;
+    tenant_sojourn[static_cast<std::size_t>(j.tenant)] += s;
+  };
+
+  on_task_done = [&](std::size_t ji) {
+    ServiceJob& j = jobs[ji];
+    --j.remaining;
+    if (j.remaining > 0) return;
+    // Setup/cleanup serialized after the last task, charged on the
+    // plurality type (same convention as the batch schedule).
+    int primary = 0;
+    int best_count = -1;
+    for (std::size_t t = 0; t < types.size(); ++t) {
+      auto it = j.tasks_by_type.find(types[t]->name);
+      int count = it == j.tasks_by_type.end() ? 0 : it->second;
+      if (count > best_count) {
+        best_count = count;
+        primary = static_cast<int>(t);
+      }
+    }
+    sim.in(j.profile[static_cast<std::size_t>(primary)]->other_s,
+           [&, ji] { finalize_job(ji); });
+  };
+
+  auto start_task = [&](TaskRef tr, Node& n) {
+    bool got = n.slots->try_acquire();
+    require(got, "simulate_service: dispatched to a full node");
+    std::size_t flat = static_cast<std::size_t>(&n - nodes.data());
+    ServiceJob& j = jobs[tr.job];
+    const perf::SimTask& t = task_for(tr, n.type_id);
+    j.first_start = std::min(j.first_start, sim.now());
+    j.tasks_by_type[n.server->name] += 1;
+    n.tasks_run += 1;
+    n.est_ends.insert(sim.now() + est_task_duration(t, n, sim.now(), 0));
+    std::size_t ji = tr.job;
+    int phase = tr.phase;
+    perf::replay_task_on_slot(sim, *n.disk, *n.nic, t,
+                              [&sim, &jobs, &n, &nodes, &reindex, &on_task_done, &enqueue_reduces,
+                               &dispatch, ji, phase, &t] {
+                                ServiceJob& job = jobs[ji];
+                                n.energy += t.energy;
+                                job.energy += t.energy;
+                                if (phase == 0) {
+                                  ++job.maps_done;
+                                  if (job.maps_done >= job.slowstart_after) enqueue_reduces(ji);
+                                }
+                                n.est_ends.erase(n.est_ends.begin());
+                                n.slots->release();
+                                reindex(static_cast<std::size_t>(&n - nodes.data()));
+                                on_task_done(ji);
+                                dispatch();
+                              });
+    reindex(flat);
+  };
+
+  dispatch = [&] {
+    // Fair-share order with per-tenant skip flags: one tenant's
+    // unplaceable head (wrong class, RR target busy, ETF defer) must
+    // not block another tenant whose head fits right now. FIFO
+    // head-of-line *within* a tenant is intended — that is the YARN
+    // queue semantics the fair-share layer models.
+    std::vector<bool> skip(static_cast<std::size_t>(ntenants), false);
+    while (true) {
+      int t = fsq.next_tenant_excluding(skip);
+      if (t < 0) break;
+      TaskRef tr = task_pool[fsq.front(t)];
+      Node* n = pick_node(tr);
+      if (n == nullptr) {
+        skip[static_cast<std::size_t>(t)] = true;
+        continue;
+      }
+      fsq.pop(t);
+      fsq.charge(t, task_for(tr, n->type_id).cpu_s);
+      start_task(tr, *n);
+    }
+  };
+
+  // ---- The arrival stream ----
+  auto pick_tenant = [&] {
+    double draw = pick_rng.next_double() * total_share;
+    double acc = 0;
+    for (int t = 0; t < ntenants; ++t) {
+      acc += tenants[static_cast<std::size_t>(t)].tenant.arrival_share;
+      if (draw < acc) return t;
+    }
+    return ntenants - 1;
+  };
+  std::function<void(Seconds)> schedule_arrival;
+  schedule_arrival = [&](Seconds at) {
+    sim.at(at, [&, at] {
+      int tenant = pick_tenant();
+      const auto& mix = tenants[static_cast<std::size_t>(tenant)].mix;
+      const JobRequest& req =
+          mix[pick_rng.uniform(0, static_cast<std::uint64_t>(mix.size()) - 1)];
+
+      std::size_t ji = jobs.size();
+      ServiceJob j;
+      j.tenant = tenant;
+      j.arrival = at;
+      j.measured = at >= opts.warmup;
+      j.prefers_big = prefers_big_by_workload.at(static_cast<int>(req.workload));
+      j.profile.resize(types.size());
+      for (std::size_t t = 0; t < types.size(); ++t) {
+        j.profile[t] = &profiles.at(std::make_tuple(static_cast<int>(req.workload),
+                                                    req.input_size, static_cast<int>(t)));
+      }
+      j.nmaps = static_cast<int>(j.profile[0]->map_tasks.size());
+      j.slowstart_after =
+          std::min(j.nmaps, static_cast<int>(std::ceil(opts.mix.reduce_slowstart *
+                                                       static_cast<double>(j.nmaps))));
+      j.remaining = j.nmaps + static_cast<int>(j.profile[0]->reduce_tasks.size());
+      jobs.push_back(std::move(j));
+      ++arrivals;
+      if (jobs[ji].measured) {
+        l_advance();
+        ++live_measured;
+      }
+      for (std::size_t i = 0; i < jobs[ji].profile[0]->map_tasks.size(); ++i) {
+        task_pool.push_back({ji, 0, i, rr_counter++ % nodes.size()});
+        fsq.enqueue(tenant, task_pool.size() - 1);
+      }
+      if (jobs[ji].nmaps == 0) enqueue_reduces(ji);
+      if (jobs[ji].remaining == 0) {
+        // Degenerate job with no tasks at all: only setup/cleanup.
+        sim.in(jobs[ji].profile[0]->other_s, [&, ji] { finalize_job(ji); });
+      }
+      Seconds nxt = arrivals_rng.next_after(at);
+      if (nxt < opts.horizon) schedule_arrival(nxt);
+      dispatch();
+    });
+  };
+  Seconds first_arrival = arrivals_rng.next_after(0);
+  if (first_arrival < opts.horizon) schedule_arrival(first_arrival);
+
+  sim.run();
+  require(fsq.empty(), "simulate_service: undispatched tasks after drain");
+
+  // ---- Collect ----
+  ServiceResult result;
+  result.arrivals = arrivals;
+  result.measured_jobs = measured_jobs;
+  result.window = window;
+  result.events_run = sim.events_run();
+  if (measured_jobs > 0) {
+    result.lambda_measured = static_cast<double>(measured_jobs) / window;
+    result.sojourn = {sojourn.mean(), sojourn.p50(), sojourn.p95(), sojourn.p99(), sojourn.max()};
+    result.queue_delay = {queue_delay.mean(), queue_delay.p50(), queue_delay.p95(),
+                          queue_delay.p99(), queue_delay.max()};
+    result.little_l = l_integral / window;
+    result.little_lambda_w = result.lambda_measured * result.sojourn.mean;
+    // Little's law as a bookkeeping identity: the timeline integral of
+    // the in-system count and the per-job sojourn sum must describe
+    // the same jobs; disagreement means a job was dropped or double
+    // counted somewhere on the event path.
+    double scale = std::max(1.0, std::max(result.little_l, result.little_lambda_w));
+    require(std::abs(result.little_l - result.little_lambda_w) <= 1e-6 * scale,
+            "simulate_service: Little's law violated (L != lambda * W)");
+  }
+  result.dynamic_energy = dynamic_energy;
+  for (const Node& n : nodes) {
+    result.idle_energy += n.server->power.system_idle_w * window;
+  }
+  if (measured_jobs > 0) {
+    result.energy_per_job =
+        (result.dynamic_energy + result.idle_energy) / static_cast<double>(measured_jobs);
+  }
+  for (std::size_t t = 0; t < types.size(); ++t) {
+    ClassUtilization u;
+    u.node_type = types[t]->name;
+    u.slots_per_node = task_slots_for(*types[t], opts.mix);
+    Seconds busy = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (static_cast<std::size_t>(nodes[i].type_id) != t) continue;
+      u.nodes += 1;
+      u.tasks_run += nodes[i].tasks_run;
+      busy += busy1[i] - busy0[i];
+    }
+    double capacity = static_cast<double>(u.nodes) * u.slots_per_node * window;
+    u.slot_utilization = capacity > 0 ? busy / capacity : 0.0;
+    result.classes.push_back(std::move(u));
+  }
+  for (int t = 0; t < ntenants; ++t) {
+    TenantServiceStats s;
+    s.name = tenants[static_cast<std::size_t>(t)].tenant.name;
+    s.jobs = tenant_jobs[static_cast<std::size_t>(t)];
+    s.mean_sojourn_s = s.jobs > 0 ? tenant_sojourn[static_cast<std::size_t>(t)] / s.jobs : 0.0;
+    s.virtual_time = fsq.virtual_time(t);
+    result.tenants.push_back(std::move(s));
   }
   return result;
 }

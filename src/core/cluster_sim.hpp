@@ -10,8 +10,17 @@
 // split across big and little nodes (the paper's actual heterogeneity
 // promise), and makespan/energy/utilization all emerge from the
 // replayed timeline instead of a per-job closed form.
+// Service mode (simulate_service) asks the open-stream question the
+// batch replay cannot: jobs arrive forever — seeded Poisson thinned by
+// a diurnal load curve, fanned across multi-tenant fair-share queues —
+// and the answer is steady-state p50/p95/p99 latency, queueing delay,
+// per-class utilization and energy per job after warm-up truncation,
+// instead of a single mix's makespan. Dispatch is incremental
+// (est-end ordered node indexes, O(log n) selection), so racks of
+// hundreds to thousands of nodes replay without a per-job rebuild.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -19,6 +28,8 @@
 #include "core/characterizer.hpp"
 #include "core/classifier.hpp"
 #include "core/scheduler.hpp"
+#include "sim/workload/arrival.hpp"
+#include "sim/workload/fair_share.hpp"
 
 namespace bvl::core {
 
@@ -133,5 +144,110 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
 /// nodes allow (~3.4 Atoms per Xeon). Iso-power — not iso-count — is
 /// the provisioning question the paper actually asks.
 std::vector<std::vector<NodeSpec>> comparison_racks(int big_nodes = 4);
+
+// ---------------------------------------------------------------------------
+// Open job-stream service simulation
+// ---------------------------------------------------------------------------
+
+/// One tenant of the open stream: its fair-share identity plus the
+/// job mix its arrivals sample from (uniformly, seeded).
+struct TenantWorkload {
+  sim::TenantSpec tenant;
+  std::vector<JobRequest> mix;
+};
+
+struct ServiceOptions {
+  /// Mean arrival rate at the diurnal baseline, jobs per second
+  /// across all tenants (each arrival is assigned to a tenant by
+  /// arrival_share weight).
+  double arrival_rate = 0.01;
+  sim::DiurnalCurve diurnal;  ///< amplitude 0 = flat Poisson stream
+  /// Arrivals stop at `horizon`; in-flight jobs drain afterwards so
+  /// every measured job completes.
+  Seconds horizon = 4 * 3600.0;
+  /// Jobs arriving before `warmup` are simulated (they load the rack)
+  /// but excluded from every steady-state metric; utilization and
+  /// idle energy are integrated over [warmup, horizon] only.
+  Seconds warmup = 0;
+  std::uint64_t seed = 1;
+  MixPolicy policy = MixPolicy::kClassAware;
+  MixOptions mix;  ///< slots per node, reduce slowstart
+};
+
+/// Streaming distribution summary (from the P² sketches), flattened
+/// to plain doubles so determinism tests can compare byte for byte.
+struct LatencySummary {
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Per node-type occupancy over the measurement window.
+struct ClassUtilization {
+  std::string node_type;
+  int nodes = 0;
+  int slots_per_node = 0;
+  int tasks_run = 0;          ///< over the whole replay, incl. warm-up
+  double slot_utilization = 0;  ///< busy slot-seconds / capacity, window only
+};
+
+struct TenantServiceStats {
+  std::string name;
+  int jobs = 0;  ///< measured (post-warm-up) completed jobs
+  double mean_sojourn_s = 0;
+  /// Attained service in weight-normalized units — fairness checks
+  /// compare these across equally-backlogged tenants.
+  double virtual_time = 0;
+};
+
+struct ServiceResult {
+  // Stream accounting.
+  int arrivals = 0;       ///< every job generated, warm-up included
+  int measured_jobs = 0;  ///< arrived in [warmup, horizon), completed
+  Seconds window = 0;     ///< horizon - warmup
+  double lambda_measured = 0;  ///< measured_jobs / window (jobs/s)
+
+  // Steady-state latency (measured jobs only).
+  LatencySummary sojourn;      ///< arrival -> job finalized
+  LatencySummary queue_delay;  ///< arrival -> first task dispatched
+
+  /// Little's law bookkeeping: `little_l` is the time-average number
+  /// of measured jobs in system computed by integrating the live
+  /// count on the event timeline; `little_lambda_w` is
+  /// lambda_measured * mean sojourn. simulate_service asserts the two
+  /// agree to float tolerance on every run — the timeline and the
+  /// per-job accounting must describe the same system.
+  double little_l = 0;
+  double little_lambda_w = 0;
+
+  // Energy over the window: dynamic energy of measured jobs plus
+  // every provisioned node's idle draw.
+  Joules dynamic_energy = 0;
+  Joules idle_energy = 0;
+  double energy_per_job = 0;
+
+  std::vector<ClassUtilization> classes;
+  std::vector<TenantServiceStats> tenants;
+  std::uint64_t events_run = 0;
+
+  /// Service-level cost figure: energy per job x p99 sojourn^x — the
+  /// open-stream analogue of the batch ED^xP, routed through the same
+  /// core::edxp_value validation.
+  double service_edxp(int x) const;
+};
+
+/// Replays an open job stream on `rack`: seeded Poisson arrivals
+/// (thinned by `opts.diurnal`) are assigned to `tenants` by arrival
+/// share, queued under strict-priority weighted fair sharing, and
+/// dispatched at task granularity onto the rack under `opts.policy`
+/// with O(log n) incremental node selection. `exec_threads` sizes the
+/// pre-characterization pool exactly as in simulate_mix; the timeline
+/// replay itself is deterministic and single-threaded, so the full
+/// ServiceResult is a pure function of (jobs mixes, rack, opts).
+ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorkload>& tenants,
+                               const std::vector<NodeSpec>& rack, const ServiceOptions& opts,
+                               int exec_threads = 0);
 
 }  // namespace bvl::core

@@ -1,13 +1,31 @@
-// Discrete-event simulation kernel: a clock and a binary-heap event
-// queue. Everything time-shaped in the repo — per-task phase replay
-// (perf/pricer), the multi-job rack mix (core/cluster_sim) — runs on
+// Discrete-event simulation kernel: a clock and a 4-ary-heap event
+// queue with lazy deletion. Everything time-shaped in the repo —
+// per-task phase replay (perf/pricer), the multi-job rack mix and the
+// open job-stream service simulation (core/cluster_sim) — runs on
 // this one timeline, so wave shapes, slot contention, map/shuffle
 // overlap, and straggler stretch emerge from event ordering instead of
 // being scalar corrections bolted onto a closed form.
 //
-// Determinism: events at equal timestamps fire in submission order
-// (a monotone sequence number breaks heap ties), so a replay is a pure
-// function of its inputs — same trace, same schedule, bit for bit.
+// Determinism / tie ordering (the contract every replay relies on):
+// events at equal timestamps fire in submission order — each push is
+// stamped with a monotone sequence number and the heap orders by
+// (time, seq) — so a replay is a pure function of its inputs: same
+// trace, same schedule, bit for bit. The guarantee survives cancels:
+// cancelling an event never reorders the remaining ones, because
+// cancellation only marks the entry and the (time, seq) keys of live
+// entries are untouched (tests/sim/test_sim_kernel.cpp pins
+// equal-time FIFO order across interleaved cancels).
+//
+// Scale: the heap is 4-ary (children of i at 4i+1..4i+4), which
+// roughly halves the tree depth of a binary heap and keeps each
+// sift's children in one or two cache lines — the difference between
+// a batch replay with hundreds of pending events and a service-mode
+// horizon holding millions (see BENCH_service.json for the profiled
+// push/pop/cancel costs at 1M pending events). Cancellation is lazy:
+// cancel(id) marks the entry and pops skip it, so cancel is O(1)
+// amortized instead of a heap rebuild; when dead entries outnumber
+// live ones the queue compacts in place (O(n), amortized against the
+// cancels that created the garbage) so memory stays within 2x live.
 #pragma once
 
 #include <cstddef>
@@ -33,34 +51,63 @@ class SimClock {
   Seconds now_ = 0;
 };
 
+/// Handle for a scheduled event, usable with cancel(). Handles are the
+/// insertion sequence numbers, so they are unique per queue lifetime
+/// and never reused.
+using EventId = std::uint64_t;
+
 /// Min-heap of (time, seq, callback). `seq` is the insertion order and
-/// breaks timestamp ties FIFO.
+/// breaks timestamp ties FIFO (see the header comment for the full
+/// tie-ordering contract).
 class EventQueue {
  public:
-  void push(Seconds time, std::function<void()> fn);
+  /// Schedules `fn` and returns a handle for cancel().
+  EventId push(Seconds time, std::function<void()> fn);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  /// Marks a pending event dead; it will be skipped when it reaches
+  /// the top of the heap. Returns false when `id` is not pending
+  /// (already run, already cancelled, or never issued). Never affects
+  /// the firing order of the remaining events.
+  bool cancel(EventId id);
 
-  /// Time of the earliest pending event. Only valid when !empty().
+  bool empty() const { return live_ == 0; }
+  /// Live (non-cancelled) pending events.
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest pending live event. Only valid when !empty().
   Seconds next_time() const;
 
-  /// Pops the earliest event, advances `clock` to its timestamp, and
-  /// runs its callback (which may push further events).
+  /// Pops the earliest live event, advances `clock` to its timestamp,
+  /// and runs its callback (which may push further events).
   void run_next(SimClock& clock);
 
  private:
   struct Entry {
     Seconds time = 0;
-    std::uint64_t seq = 0;
+    EventId seq = 0;
     std::function<void()> fn;
   };
-  /// std::*_heap comparator: a max-heap under "later-than" keeps the
-  /// earliest (time, seq) at the front.
-  static bool later(const Entry& a, const Entry& b);
+  /// Min-heap order: earlier (time, seq) first.
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
 
-  std::vector<Entry> heap_;
-  std::uint64_t next_seq_ = 0;
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Drops cancelled entries sitting at the top, maintaining the
+  /// invariant that heap_.front() (when live_ > 0) is a live event.
+  void drop_dead_top();
+  /// Rebuilds the heap without the dead entries once they dominate.
+  void compact();
+
+  std::vector<Entry> heap_;  ///< 4-ary min-heap on (time, seq)
+  /// One bit per id ever issued: set = ran or cancelled. An id with a
+  /// clear bit is exactly a live heap entry, which is what makes
+  /// cancel O(1) — no pending-set bookkeeping on the push/pop path.
+  std::vector<bool> spent_;
+  std::size_t live_ = 0;  ///< heap entries whose spent_ bit is clear
+  EventId next_seq_ = 0;
 };
 
 /// Clock + queue + run loop: the object a replay drives.
@@ -69,15 +116,20 @@ class Simulation {
   Seconds now() const { return clock_.now(); }
 
   /// Schedules `fn` at absolute time `t` (>= now()).
-  void at(Seconds t, std::function<void()> fn);
+  EventId at(Seconds t, std::function<void()> fn);
 
   /// Schedules `fn` at now() + delay (delay >= 0).
-  void in(Seconds delay, std::function<void()> fn);
+  EventId in(Seconds delay, std::function<void()> fn);
+
+  /// Cancels a pending event scheduled by at()/in(). Returns false
+  /// when it already ran or was already cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
 
   /// Runs events in (time, submission) order until the queue drains.
   void run();
 
   std::uint64_t events_run() const { return events_run_; }
+  std::size_t pending() const { return queue_.size(); }
 
  private:
   SimClock clock_;

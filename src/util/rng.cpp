@@ -41,6 +41,13 @@ double Pcg32::uniform_real(double lo, double hi) { return lo + (hi - lo) * next_
 
 bool Pcg32::chance(double p) { return next_double() < p; }
 
+double Pcg32::exponential(double lambda) {
+  require(lambda > 0, "Pcg32::exponential: rate must be positive");
+  // next_double() < 1, so the log argument stays in (0, 1] and the
+  // result is finite and non-negative.
+  return -std::log(1.0 - next_double()) / lambda;
+}
+
 ZipfSampler::ZipfSampler(std::size_t n, double s) : cdf_(n), s_(s) {
   require(n > 0, "ZipfSampler: empty support");
   double acc = 0.0;

@@ -34,6 +34,12 @@ class Pcg32 {
   /// Bernoulli trial with probability p.
   bool chance(double p);
 
+  /// Exponential with rate lambda > 0 (mean 1/lambda) — interarrival
+  /// and service draws for the Poisson job stream and the queueing
+  /// differential tests. Inverse-CDF on next_double(), so a seeded
+  /// stream of draws is identical across platforms.
+  double exponential(double lambda);
+
  private:
   std::uint64_t state_;
   std::uint64_t inc_;

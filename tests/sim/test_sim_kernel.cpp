@@ -34,6 +34,41 @@ TEST(EventQueue, EqualTimestampsFireInSubmissionOrder) {
   EXPECT_EQ(order, "abcdef");
 }
 
+TEST(EventQueue, EqualTimeFifoOrderSurvivesCancels) {
+  // The tie-ordering contract (see sim/event_queue.hpp): events at
+  // equal timestamps fire in submission order, and cancelling some of
+  // them never reorders the survivors — cancellation only marks
+  // entries, the (time, seq) keys of live events are untouched.
+  Simulation sim;
+  std::string order;
+  std::vector<EventId> ids;
+  for (char c : std::string("abcdefgh")) {
+    ids.push_back(sim.at(1.0, [&order, c] { order.push_back(c); }));
+  }
+  EXPECT_TRUE(sim.cancel(ids[2]));   // c
+  EXPECT_TRUE(sim.cancel(ids[5]));   // f
+  EXPECT_FALSE(sim.cancel(ids[2]));  // double-cancel is a no-op
+  // Late submissions at the same timestamp still queue after the
+  // earlier survivors.
+  sim.at(1.0, [&order] { order.push_back('i'); });
+  sim.at(1.0, [&order] { order.push_back('j'); });
+  sim.run();
+  EXPECT_EQ(order, "abdeghij");
+  // Events that already ran can no longer be cancelled.
+  EXPECT_FALSE(sim.cancel(ids[0]));
+}
+
+TEST(EventQueue, CancelledEventsNeverFireAndFreeTheQueue) {
+  Simulation sim;
+  int fired = 0;
+  EventId id = sim.at(5.0, [&] { ++fired; });
+  sim.at(1.0, [&] { EXPECT_TRUE(sim.cancel(id)); });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.now(), 1.0);  // the cancelled event never advanced time
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 TEST(EventQueue, CallbacksMayScheduleFurtherEvents) {
   Simulation sim;
   std::vector<Seconds> fire_times;
