@@ -20,6 +20,7 @@ void register_all_figures(report::FigureRegistry& r) {
   register_table3(r);
   register_ablate(r);
   register_service(r);
+  register_fabric(r);
 }
 
 }  // namespace bvl::figs

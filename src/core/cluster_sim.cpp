@@ -30,6 +30,11 @@ struct Node {
   std::unique_ptr<sim::SlotPool> slots;
   std::unique_ptr<sim::ServiceQueue> disk;
   std::unique_ptr<sim::ServiceQueue> nic;
+  /// The queue a task's network demand will actually wait on: the
+  /// node's own NIC by default, the fabric's ingress link for this
+  /// node when a modeled fabric is attached. Dispatch estimates read
+  /// backlog from here so ETF sees the same device the replay uses.
+  const sim::ServiceQueue* nic_est = nullptr;
   /// Estimated end times of the tasks currently holding slots, so the
   /// dispatcher can reason about *when* a full node frees up instead
   /// of only about who is free right now (myopic greedy placement
@@ -63,7 +68,7 @@ struct TaskRef {
 Seconds est_task_duration(const perf::SimTask& t, const Node& n, Seconds now, Seconds delay) {
   Seconds start = now + delay;
   Seconds disk_delay = std::max<Seconds>(0, n.disk->free_at() - start);
-  Seconds nic_delay = std::max<Seconds>(0, n.nic->free_at() - start);
+  Seconds nic_delay = std::max<Seconds>(0, n.nic_est->free_at() - start);
   return std::max({t.cpu_s, disk_delay + t.disk_svc_s, nic_delay + t.nic_svc_s}) + t.serial_s +
          t.backoff_s;
 }
@@ -82,7 +87,62 @@ struct JobState {
   Joules energy = 0;
   std::map<std::string, int> tasks_by_type;
   std::map<std::size_t, int> tasks_by_node;  ///< flat node id -> count
+  /// Map tasks by flat node id — the shuffle source weights: a reduce
+  /// fetches from each node in proportion to the maps it ran there.
+  std::map<std::size_t, int> maps_by_node;
 };
+
+/// Builds the modeled fabric for an expanded rack, or returns null
+/// when `opts` asks for the infinite-fabric default. An empty
+/// topology means one rack spanning every node; an explicit one must
+/// match the flat node order.
+std::unique_ptr<sim::Fabric> make_fabric(sim::Simulation& sim, const MixOptions& opts,
+                                         const std::vector<Node>& nodes,
+                                         const perf::ClusterConfig& cluster,
+                                         const char* where) {
+  if (!opts.fabric.modeled) return nullptr;
+  sim::Topology topo = opts.fabric.topology;
+  if (topo.rack_of.empty()) topo = sim::Topology::single_rack(static_cast<int>(nodes.size()));
+  require(topo.nodes() == static_cast<int>(nodes.size()),
+          std::string(where) + ": fabric topology node count != rack node count");
+  std::vector<double> rates;
+  rates.reserve(nodes.size());
+  for (const Node& n : nodes) {
+    rates.push_back(cluster.net_mbps * 1e6 * n.server->network_efficiency);
+  }
+  return std::make_unique<sim::Fabric>(sim, std::move(topo), std::move(rates));
+}
+
+/// The fabric-mode network leg of one task: maps keep their HDFS
+/// traffic node-local, reduces fetch from every node that ran one of
+/// the job's maps, weighted by how many.
+void replay_task_via_fabric(sim::Simulation& sim, sim::ServiceQueue& disk,
+                            sim::FlowRouter& router, int dst_node, int phase,
+                            const std::map<std::size_t, int>& maps_by_node,
+                            const perf::SimTask& t, std::function<void()> on_complete) {
+  std::vector<std::pair<int, double>> sources;
+  if (phase == 1) {
+    sources.reserve(maps_by_node.size());
+    for (const auto& [flat, count] : maps_by_node) {
+      sources.emplace_back(static_cast<int>(flat), static_cast<double>(count));
+    }
+  }
+  perf::replay_task_on_slot(
+      sim, disk, t,
+      [&router, dst_node, &sources](const perf::SimTask& task, std::function<void()> done) {
+        router.shuffle(dst_node, sources, task.net_bytes, std::move(done));
+      },
+      std::move(on_complete));
+}
+
+/// Folds the fabric ledger into a result, normalizing spine busy time
+/// by the caller's measurement window.
+sim::FabricStats fabric_stats_over(const sim::Fabric* fabric, Seconds window) {
+  if (fabric == nullptr) return {};
+  sim::FabricStats s = fabric->stats();
+  s.spine_utilization = window > 0 ? s.spine_busy_s / window : 0.0;
+  return s;
+}
 
 }  // namespace
 
@@ -130,10 +190,21 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
       n.slots = std::make_unique<sim::SlotPool>(sim, task_slots_for(spec.server, opts));
       n.disk = std::make_unique<sim::ServiceQueue>(sim);
       n.nic = std::make_unique<sim::ServiceQueue>(sim);
+      n.nic_est = n.nic.get();
       nodes.push_back(std::move(n));
     }
   }
   require(!nodes.empty(), "simulate_mix: empty rack");
+
+  std::unique_ptr<sim::Fabric> fabric =
+      make_fabric(sim, opts, nodes, ch.cluster_config(), "simulate_mix");
+  std::unique_ptr<sim::FlowRouter> router;
+  if (fabric != nullptr) {
+    router = std::make_unique<sim::FlowRouter>(*fabric);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      nodes[i].nic_est = &fabric->ingress(static_cast<int>(i));
+    }
+  }
 
   // ---- Pre-characterize distinct job specs in parallel ----
   // The engine runs dominate; the timeline replay below only consumes
@@ -253,12 +324,14 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
     require(got, "simulate_mix: dispatched to a full node");
     JobState& js = states[tr.job];
     const perf::SimTask& t = task_for(tr, n.type_id);
+    std::size_t flat = static_cast<std::size_t>(&n - nodes.data());
     js.first_start = std::min(js.first_start, sim.now());
     js.tasks_by_type[n.server->name] += 1;
-    js.tasks_by_node[static_cast<std::size_t>(&n - nodes.data())] += 1;
+    js.tasks_by_node[flat] += 1;
+    if (tr.phase == 0) js.maps_by_node[flat] += 1;
     n.tasks_run += 1;
     n.est_ends.insert(sim.now() + est_duration(tr, n, 0));
-    perf::replay_task_on_slot(sim, *n.disk, *n.nic, t, [&sim, &js, &n, &dispatch, tr, &t] {
+    auto on_done = [&sim, &js, &n, &dispatch, tr, &t] {
       n.energy += t.energy;
       js.energy += t.energy;
       js.last_finish = std::max(js.last_finish, sim.now());
@@ -269,7 +342,13 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
       n.est_ends.erase(n.est_ends.begin());
       n.slots->release();
       dispatch();
-    });
+    };
+    if (router != nullptr) {
+      replay_task_via_fabric(sim, *n.disk, *router, static_cast<int>(flat), tr.phase,
+                             js.maps_by_node, t, std::move(on_done));
+    } else {
+      perf::replay_task_on_slot(sim, *n.disk, *n.nic, t, std::move(on_done));
+    }
   };
 
   dispatch = [&] {
@@ -357,6 +436,7 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
     result.total_energy += idle;
     result.nodes.push_back(std::move(u));
   }
+  result.fabric = fabric_stats_over(fabric.get(), result.makespan);
   return result;
 }
 
@@ -380,6 +460,9 @@ struct ServiceJob {
   Seconds first_start = std::numeric_limits<double>::infinity();
   Joules energy = 0;
   std::map<std::string, int> tasks_by_type;
+  /// Map tasks by flat node id — shuffle source weights (same
+  /// convention as the batch JobState).
+  std::map<std::size_t, int> maps_by_node;
 };
 
 /// Ordered node indexes for one node type: the incremental dispatcher
@@ -441,10 +524,21 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
       n.slots = std::make_unique<sim::SlotPool>(sim, task_slots_for(spec.server, opts.mix));
       n.disk = std::make_unique<sim::ServiceQueue>(sim);
       n.nic = std::make_unique<sim::ServiceQueue>(sim);
+      n.nic_est = n.nic.get();
       nodes.push_back(std::move(n));
     }
   }
   require(!nodes.empty(), "simulate_service: empty rack");
+
+  std::unique_ptr<sim::Fabric> fabric =
+      make_fabric(sim, opts.mix, nodes, ch.cluster_config(), "simulate_service");
+  std::unique_ptr<sim::FlowRouter> router;
+  if (fabric != nullptr) {
+    router = std::make_unique<sim::FlowRouter>(*fabric);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      nodes[i].nic_est = &fabric->ingress(static_cast<int>(i));
+    }
+  }
 
   // ---- Pre-characterize every distinct spec of every mix in parallel ----
   std::vector<RunSpec> distinct;
@@ -483,7 +577,7 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
   std::vector<std::pair<double, std::size_t>> node_key(nodes.size());
   std::vector<bool> node_in_free(nodes.size(), false);
   auto device_backlog = [&](const Node& n) {
-    return std::max(n.disk->free_at(), n.nic->free_at());
+    return std::max(n.disk->free_at(), n.nic_est->free_at());
   };
   auto index_insert = [&](std::size_t flat) {
     Node& n = nodes[flat];
@@ -698,26 +792,32 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
     const perf::SimTask& t = task_for(tr, n.type_id);
     j.first_start = std::min(j.first_start, sim.now());
     j.tasks_by_type[n.server->name] += 1;
+    if (tr.phase == 0) j.maps_by_node[flat] += 1;
     n.tasks_run += 1;
     n.est_ends.insert(sim.now() + est_task_duration(t, n, sim.now(), 0));
     std::size_t ji = tr.job;
     int phase = tr.phase;
-    perf::replay_task_on_slot(sim, *n.disk, *n.nic, t,
-                              [&sim, &jobs, &n, &nodes, &reindex, &on_task_done, &enqueue_reduces,
-                               &dispatch, ji, phase, &t] {
-                                ServiceJob& job = jobs[ji];
-                                n.energy += t.energy;
-                                job.energy += t.energy;
-                                if (phase == 0) {
-                                  ++job.maps_done;
-                                  if (job.maps_done >= job.slowstart_after) enqueue_reduces(ji);
-                                }
-                                n.est_ends.erase(n.est_ends.begin());
-                                n.slots->release();
-                                reindex(static_cast<std::size_t>(&n - nodes.data()));
-                                on_task_done(ji);
-                                dispatch();
-                              });
+    auto on_done = [&sim, &jobs, &n, &nodes, &reindex, &on_task_done, &enqueue_reduces,
+                    &dispatch, ji, phase, &t] {
+      ServiceJob& job = jobs[ji];
+      n.energy += t.energy;
+      job.energy += t.energy;
+      if (phase == 0) {
+        ++job.maps_done;
+        if (job.maps_done >= job.slowstart_after) enqueue_reduces(ji);
+      }
+      n.est_ends.erase(n.est_ends.begin());
+      n.slots->release();
+      reindex(static_cast<std::size_t>(&n - nodes.data()));
+      on_task_done(ji);
+      dispatch();
+    };
+    if (router != nullptr) {
+      replay_task_via_fabric(sim, *n.disk, *router, static_cast<int>(flat), tr.phase,
+                             j.maps_by_node, t, std::move(on_done));
+    } else {
+      perf::replay_task_on_slot(sim, *n.disk, *n.nic, t, std::move(on_done));
+    }
     reindex(flat);
   };
 
@@ -855,6 +955,7 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
     s.virtual_time = fsq.virtual_time(t);
     result.tenants.push_back(std::move(s));
   }
+  result.fabric = fabric_stats_over(fabric.get(), window);
   return result;
 }
 

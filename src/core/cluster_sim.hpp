@@ -28,6 +28,8 @@
 #include "core/characterizer.hpp"
 #include "core/classifier.hpp"
 #include "core/scheduler.hpp"
+#include "sim/network/fabric.hpp"
+#include "sim/network/topology.hpp"
 #include "sim/workload/arrival.hpp"
 #include "sim/workload/fair_share.hpp"
 
@@ -55,6 +57,15 @@ struct MixOptions {
   /// become dispatchable (Hadoop reduce slowstart). 1.0 = serial
   /// phases, matching single-job pricing.
   double reduce_slowstart = 1.0;
+  /// Shuffle fabric. Default (modeled = false): each node's whole
+  /// shuffle volume is charged at its own NIC queue — the analytic
+  /// term, byte-identical to the pre-fabric timeline. When modeled,
+  /// each reduce's shuffle is decomposed into per-source flows
+  /// (weighted by where the job's maps actually ran) and replayed
+  /// through NIC/ToR/spine links; an empty topology.rack_of means one
+  /// rack spanning the whole rack list, otherwise topology.rack_of
+  /// must match the flat node order of the expanded rack.
+  sim::FabricOptions fabric;
 };
 
 /// Resolved slot count for one node type under `opts`.
@@ -101,6 +112,10 @@ struct MixResult {
   /// makespan. Equals the sum of NodeUtilization::energy plus the
   /// jobs' setup/cleanup energy.
   Joules total_energy = 0;
+  /// Flow-conservation ledger of the modeled fabric (modeled = false
+  /// when the run used the infinite-fabric default);
+  /// spine_utilization is spine busy time over the makespan.
+  sim::FabricStats fabric;
 
   /// Operational cost of the whole mix (energy x makespan^x), routed
   /// through the shared core::edxp_value validation.
@@ -231,6 +246,9 @@ struct ServiceResult {
   std::vector<ClassUtilization> classes;
   std::vector<TenantServiceStats> tenants;
   std::uint64_t events_run = 0;
+  /// Fabric ledger over the whole replay (warm-up included);
+  /// spine_utilization uses the measurement window.
+  sim::FabricStats fabric;
 
   /// Service-level cost figure: energy per job x p99 sojourn^x — the
   /// open-stream analogue of the batch ED^xP, routed through the same

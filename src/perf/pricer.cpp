@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "sim/event_queue.hpp"
+#include "sim/network/fabric.hpp"
 #include "sim/resource.hpp"
 #include "util/error.hpp"
 
@@ -134,7 +135,8 @@ EventPricer::DerivedPhase EventPricer::derive_phase(const PhaseCost& pc, Hertz f
     double inst = opts_.per_task_cpu ? t.total_inst() : mean_inst;
     s.cpu_s = inst * cpi.total() / freq * t.time_factor + launch + d.active * master;
     s.disk_svc_s = disk_weight_sum > 0 ? d.io_total * (disk_weight[i] / disk_weight_sum) : 0.0;
-    s.nic_svc_s = t.total_net_bytes() / nic_rate;
+    s.net_bytes = t.total_net_bytes();
+    s.nic_svc_s = s.net_bytes / nic_rate;
     // The non-overlappable tail of this task's own compute/IO/net —
     // the per-task analogue of the closed form's overlap penalty.
     double longest = std::max({s.cpu_s, s.disk_svc_s, s.nic_svc_s});
@@ -156,9 +158,9 @@ struct PhaseProgress {
 /// Launches one task: acquire a slot, then replay its demands and
 /// release the slot on completion.
 void launch_task(sim::Simulation& sim, sim::SlotPool& pool, sim::ServiceQueue& disk,
-                 sim::ServiceQueue& nic, const SimTask& t, std::function<void()> on_done) {
-  pool.acquire([&sim, &pool, &disk, &nic, t, on_done = std::move(on_done)] {
-    replay_task_on_slot(sim, disk, nic, t, [&pool, on_done] {
+                 const ShuffleChannel& net, const SimTask& t, std::function<void()> on_done) {
+  pool.acquire([&sim, &pool, &disk, &net, t, on_done = std::move(on_done)] {
+    replay_task_on_slot(sim, disk, t, net, [&pool, on_done] {
       on_done();
       pool.release();
     });
@@ -167,8 +169,8 @@ void launch_task(sim::Simulation& sim, sim::SlotPool& pool, sim::ServiceQueue& d
 
 }  // namespace
 
-void replay_task_on_slot(sim::Simulation& sim, sim::ServiceQueue& disk, sim::ServiceQueue& nic,
-                         const SimTask& t, std::function<void()> on_complete) {
+void replay_task_on_slot(sim::Simulation& sim, sim::ServiceQueue& disk, const SimTask& t,
+                         const ShuffleChannel& net, std::function<void()> on_complete) {
   int parts = 1 + (t.disk_svc_s > 0 ? 1 : 0) + (t.nic_svc_s > 0 ? 1 : 0);
   auto remaining = std::make_shared<int>(parts);
   Seconds hold = t.serial_s + t.backoff_s;
@@ -178,7 +180,17 @@ void replay_task_on_slot(sim::Simulation& sim, sim::ServiceQueue& disk, sim::Ser
   };
   sim.in(t.cpu_s, part_done);
   if (t.disk_svc_s > 0) disk.submit(t.disk_svc_s, part_done);
-  if (t.nic_svc_s > 0) nic.submit(t.nic_svc_s, part_done);
+  if (t.nic_svc_s > 0) net(t, part_done);
+}
+
+void replay_task_on_slot(sim::Simulation& sim, sim::ServiceQueue& disk, sim::ServiceQueue& nic,
+                         const SimTask& t, std::function<void()> on_complete) {
+  replay_task_on_slot(
+      sim, disk, t,
+      [&nic](const SimTask& task, std::function<void()> done) {
+        nic.submit(task.nic_svc_s, std::move(done));
+      },
+      std::move(on_complete));
 }
 
 JobSim EventPricer::job_sim(const mr::JobTrace& trace, Hertz freq, int slots) const {
@@ -196,6 +208,36 @@ JobSim EventPricer::job_sim(const mr::JobTrace& trace, Hertz freq, int slots) co
   sim::ServiceQueue disk(sim);
   sim::ServiceQueue nic(sim);
 
+  // Network legs. Default: the single NIC queue (the analytic term's
+  // device). Fabric mode: this node is node 0; maps stay local, each
+  // reduce fetches uniformly from every topology node.
+  std::unique_ptr<sim::Fabric> fabric;
+  std::unique_ptr<sim::FlowRouter> router;
+  std::vector<std::pair<int, double>> reduce_sources;
+  if (opts_.fabric.modeled) {
+    sim::Topology topo = opts_.fabric.topology;
+    if (topo.rack_of.empty()) topo = sim::Topology::single_rack(1);
+    double nic_rate = cluster_.net_mbps * 1e6 * server_.network_efficiency;
+    fabric = std::make_unique<sim::Fabric>(
+        sim, topo, std::vector<double>(topo.rack_of.size(), nic_rate));
+    router = std::make_unique<sim::FlowRouter>(*fabric);
+    for (int n = 0; n < fabric->topology().nodes(); ++n) reduce_sources.emplace_back(n, 1.0);
+  }
+  ShuffleChannel map_net = [&](const SimTask& t, std::function<void()> done) {
+    if (router != nullptr) {
+      router->shuffle(0, {}, t.net_bytes, std::move(done));
+    } else {
+      nic.submit(t.nic_svc_s, std::move(done));
+    }
+  };
+  ShuffleChannel reduce_net = [&](const SimTask& t, std::function<void()> done) {
+    if (router != nullptr) {
+      router->shuffle(0, reduce_sources, t.net_bytes, std::move(done));
+    } else {
+      nic.submit(t.nic_svc_s, std::move(done));
+    }
+  };
+
   PhaseProgress map_prog, reduce_prog;
   Seconds reduce_start = 0;
   bool reduces_launched = rp.ntasks == 0;
@@ -206,14 +248,14 @@ JobSim EventPricer::job_sim(const mr::JobTrace& trace, Hertz freq, int slots) co
   std::function<void()> launch_reduces = [&] {
     reduce_start = sim.now();
     for (const SimTask& t : rp.tasks) {
-      launch_task(sim, reduce_slots, disk, nic, t, [&] {
+      launch_task(sim, reduce_slots, disk, reduce_net, t, [&] {
         ++reduce_prog.done;
         reduce_prog.last_finish = std::max(reduce_prog.last_finish, sim.now());
       });
     }
   };
   for (const SimTask& t : mp.tasks) {
-    launch_task(sim, map_slots, disk, nic, t, [&] {
+    launch_task(sim, map_slots, disk, map_net, t, [&] {
       ++map_prog.done;
       map_prog.last_finish = std::max(map_prog.last_finish, sim.now());
       if (!reduces_launched && map_prog.done >= slowstart_after) {

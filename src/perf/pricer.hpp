@@ -25,6 +25,7 @@
 #include "perf/perf_model.hpp"
 #include "perf/task_cost.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/network/topology.hpp"
 #include "sim/resource.hpp"
 
 namespace bvl::perf {
@@ -80,6 +81,13 @@ struct EventOptions {
   /// replay each task's own instruction count (partition skew becomes
   /// visible, at the cost of drifting from the calibrated mean).
   bool per_task_cpu = false;
+  /// Shuffle fabric. Default (modeled = false) charges each task's
+  /// whole shuffle volume at one NIC ServiceQueue — today's analytic
+  /// term. When modeled, the replayed node is node 0 of the topology:
+  /// map-side HDFS traffic stays node-local while each reduce fetches
+  /// uniformly from every topology node, so remote fractions of the
+  /// shuffle traverse ToR/spine links and contend.
+  sim::FabricOptions fabric;
 };
 
 /// One task's service demands on the replay timeline, plus its share
@@ -90,6 +98,7 @@ struct SimTask {
   Seconds nic_svc_s = 0;  ///< FIFO service demand on the NIC
   Seconds serial_s = 0;   ///< non-overlappable post-service slice
   Seconds backoff_s = 0;  ///< retry backoff held on the slot
+  double net_bytes = 0;   ///< shuffle volume behind nic_svc_s (fabric routing)
   Joules energy = 0;      ///< share of phase dynamic energy
 
   Seconds residency() const { return cpu_s + serial_s + backoff_s; }
@@ -138,6 +147,14 @@ std::unique_ptr<Pricer> make_pricer(PricerKind kind, const arch::ServerConfig& s
                                     const hdfs::DfsConfig& dfs = {},
                                     const ClusterConfig& cluster = {});
 
+/// How a task's network demand reaches the wire. The channel receives
+/// the task and a completion callback, and must eventually invoke the
+/// callback exactly once; it is only called when the task has network
+/// demand (nic_svc_s > 0). The default channel submits nic_svc_s to a
+/// single NIC ServiceQueue; the fabric channel hands net_bytes to a
+/// sim::FlowRouter instead.
+using ShuffleChannel = std::function<void(const SimTask&, std::function<void()>)>;
+
 /// Replays one task's demands on an already-held slot: compute starts
 /// now, the disk/NIC demands queue FIFO on the shared devices, and
 /// `on_complete` fires once all three finish plus the serial slice and
@@ -146,5 +163,11 @@ std::unique_ptr<Pricer> make_pricer(PricerKind kind, const arch::ServerConfig& s
 /// on both timelines. The caller releases the slot in `on_complete`.
 void replay_task_on_slot(sim::Simulation& sim, sim::ServiceQueue& disk, sim::ServiceQueue& nic,
                          const SimTask& t, std::function<void()> on_complete);
+
+/// Shuffle-channel variant: identical demand ordering (cpu, then disk,
+/// then network at the same submission point), but the network leg is
+/// delegated to `net` — the fabric hook.
+void replay_task_on_slot(sim::Simulation& sim, sim::ServiceQueue& disk, const SimTask& t,
+                         const ShuffleChannel& net, std::function<void()> on_complete);
 
 }  // namespace bvl::perf

@@ -1,0 +1,170 @@
+#include "sim/network/fabric.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace bvl::sim {
+
+Fabric::Fabric(Simulation& sim, Topology topo, std::vector<double> nic_bytes_per_s)
+    : sim_(sim), topo_(std::move(topo)), nic_rate_(std::move(nic_bytes_per_s)) {
+  topo_.validate();
+  require(static_cast<int>(nic_rate_.size()) == topo_.nodes(),
+          "Fabric: nic rate count != topology node count");
+  for (double r : nic_rate_) require(r > 0, "Fabric: NIC rate must be positive");
+  stats_.modeled = true;
+
+  const int nracks = topo_.racks();
+  tor_rate_.assign(static_cast<std::size_t>(nracks), 0.0);
+  double total_rate = 0;
+  for (int n = 0; n < topo_.nodes(); ++n) {
+    double r = nic_rate_[static_cast<std::size_t>(n)];
+    tor_rate_[static_cast<std::size_t>(topo_.rack_of[static_cast<std::size_t>(n)])] += r;
+    total_rate += r;
+    egress_.push_back(std::make_unique<ServiceQueue>(sim_));
+    ingress_.push_back(std::make_unique<ServiceQueue>(sim_));
+  }
+  for (int r = 0; r < nracks; ++r) {
+    if (topo_.tor_oversub > 0) {
+      tor_rate_[static_cast<std::size_t>(r)] /= topo_.tor_oversub;
+    } else {
+      tor_rate_[static_cast<std::size_t>(r)] = 0;  // non-blocking
+    }
+    tor_.push_back(std::make_unique<ServiceQueue>(sim_));
+  }
+  if (nracks > 1 && topo_.spine_oversub > 0) {
+    spine_rate_ = total_rate / topo_.spine_oversub;
+    spine_ = std::make_unique<ServiceQueue>(sim_);
+  }
+}
+
+namespace {
+
+/// One hop of a flow's path: the queue it waits on and its service
+/// demand there (rate 0 marks a non-blocking layer — skipped).
+struct Hop {
+  ServiceQueue* link = nullptr;
+  double rate = 0;
+};
+
+}  // namespace
+
+void Fabric::send(int src, int dst, double bytes, std::function<void()> on_delivered) {
+  require(src >= 0 && src < topo_.nodes(), "Fabric: bad source node");
+  require(dst >= 0 && dst < topo_.nodes(), "Fabric: bad destination node");
+  require(bytes >= 0, "Fabric: negative flow size");
+  require(static_cast<bool>(on_delivered), "Fabric: null delivery callback");
+
+  const int src_rack = topo_.rack_of[static_cast<std::size_t>(src)];
+  const int dst_rack = topo_.rack_of[static_cast<std::size_t>(dst)];
+
+  // Path assembly. The destination ingress NIC is ALWAYS on the path —
+  // including src == dst — so modeled ingress demand sums exactly to
+  // the analytic NIC term (see the routing contract in the header).
+  Hop hops[5];
+  int nhops = 0;
+  if (src != dst) {
+    hops[nhops++] = {egress_[static_cast<std::size_t>(src)].get(),
+                     nic_rate_[static_cast<std::size_t>(src)]};
+    hops[nhops++] = {tor_[static_cast<std::size_t>(src_rack)].get(),
+                     tor_rate_[static_cast<std::size_t>(src_rack)]};
+    if (src_rack != dst_rack) {
+      if (spine_ != nullptr) hops[nhops++] = {spine_.get(), spine_rate_};
+      hops[nhops++] = {tor_[static_cast<std::size_t>(dst_rack)].get(),
+                       tor_rate_[static_cast<std::size_t>(dst_rack)]};
+    }
+  }
+  hops[nhops++] = {ingress_[static_cast<std::size_t>(dst)].get(),
+                   nic_rate_[static_cast<std::size_t>(dst)]};
+
+  ++stats_.flows;
+  stats_.bytes_injected += bytes;
+  if (src == dst) {
+    stats_.local_bytes += bytes;
+  } else if (src_rack == dst_rack) {
+    stats_.intra_rack_bytes += bytes;
+  } else {
+    stats_.cross_rack_bytes += bytes;
+  }
+
+  // Claim every finite link now; deliver when the last one finishes.
+  // Submission order is path order (egress outward), and because
+  // ServiceQueue::submit reserves its start slot synchronously, two
+  // flows sent back-to-back contend FIFO on every shared link.
+  auto remaining = std::make_shared<int>(0);
+  for (int h = 0; h < nhops; ++h) {
+    if (hops[h].rate > 0) ++*remaining;
+  }
+  auto part_done = [this, bytes, remaining, on_delivered = std::move(on_delivered)] {
+    if (--*remaining > 0) return;
+    stats_.bytes_delivered += bytes;
+    on_delivered();
+  };
+  if (*remaining == 0) {
+    // Every layer non-blocking (only possible with all-zero oversubs
+    // and... never for the NIC, which is always finite). Defensive:
+    // still deliver through the event queue for stable ordering.
+    stats_.bytes_delivered += bytes;
+    sim_.in(0, std::move(on_delivered));
+    return;
+  }
+  for (int h = 0; h < nhops; ++h) {
+    if (hops[h].rate > 0) hops[h].link->submit(bytes / hops[h].rate, part_done);
+  }
+}
+
+Seconds Fabric::ideal_flow_s(int src, int dst, double bytes) const {
+  require(src >= 0 && src < topo_.nodes(), "Fabric: bad source node");
+  require(dst >= 0 && dst < topo_.nodes(), "Fabric: bad destination node");
+  double min_rate = nic_rate_[static_cast<std::size_t>(dst)];
+  if (src != dst) {
+    min_rate = std::min(min_rate, nic_rate_[static_cast<std::size_t>(src)]);
+    const int sr = topo_.rack_of[static_cast<std::size_t>(src)];
+    const int dr = topo_.rack_of[static_cast<std::size_t>(dst)];
+    if (tor_rate_[static_cast<std::size_t>(sr)] > 0) {
+      min_rate = std::min(min_rate, tor_rate_[static_cast<std::size_t>(sr)]);
+    }
+    if (sr != dr) {
+      if (spine_rate_ > 0) min_rate = std::min(min_rate, spine_rate_);
+      if (tor_rate_[static_cast<std::size_t>(dr)] > 0) {
+        min_rate = std::min(min_rate, tor_rate_[static_cast<std::size_t>(dr)]);
+      }
+    }
+  }
+  return bytes / min_rate;
+}
+
+FabricStats Fabric::stats() const {
+  FabricStats s = stats_;
+  if (spine_ != nullptr) s.spine_busy_s = spine_->busy_s();
+  return s;
+}
+
+void FlowRouter::shuffle(int dst, const std::vector<std::pair<int, double>>& sources,
+                         double bytes, std::function<void()> on_done) {
+  require(static_cast<bool>(on_done), "FlowRouter: null completion callback");
+  double total = 0;
+  for (const auto& [node, weight] : sources) {
+    if (weight > 0) total += weight;
+  }
+  if (total <= 0) {
+    fabric_.send(dst, dst, bytes, std::move(on_done));
+    return;
+  }
+  auto remaining = std::make_shared<int>(0);
+  for (const auto& [node, weight] : sources) {
+    if (weight > 0) ++*remaining;
+  }
+  auto flow_done = [remaining, on_done = std::move(on_done)] {
+    if (--*remaining > 0) return;
+    on_done();
+  };
+  for (const auto& [node, weight] : sources) {
+    if (weight <= 0) continue;
+    fabric_.send(node, dst, bytes * (weight / total), flow_done);
+  }
+}
+
+}  // namespace bvl::sim

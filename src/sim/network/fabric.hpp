@@ -1,0 +1,127 @@
+// Modeled datacenter fabric on the discrete-event kernel: every link
+// of the Topology — per-node NIC egress/ingress, per-rack ToR fabric,
+// the spine — is one sim::ServiceQueue, and a flow occupies each link
+// on its path for bytes/rate seconds, FIFO behind whatever traffic is
+// already queued there.
+//
+// Flow timing contract (the one the differential suite pins): a flow's
+// links are claimed simultaneously at send() time and the flow is
+// delivered when the LAST link finishes serving it — the pipelined
+// (cut-through) approximation, so an uncontended flow completes in
+// max-over-hops(bytes/rate), the bottleneck-link closed form, rather
+// than the store-and-forward sum. Contention is per link: each
+// ServiceQueue serializes its own backlog, so a saturated spine delays
+// exactly the flows that traverse it.
+//
+// Routing contract: EVERY flow pays the destination node's ingress NIC
+// for its full byte count — including node-local flows. That is
+// deliberate: the analytic model (and the paper's measurement it was
+// calibrated on) charges a task's whole shuffle volume at the NIC, so
+// the destination-ingress demand of a modeled replay always sums to
+// the analytic NIC term exactly, and the modeled fabric can only ADD
+// time (source egress, ToR, spine queueing) on top of the closed
+// form's floor — never undercut it. Remote flows additionally traverse
+// src egress -> src ToR [-> spine -> dst ToR] -> dst ingress.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/network/topology.hpp"
+#include "sim/resource.hpp"
+
+namespace bvl::sim {
+
+/// Flow-conservation ledger plus the traffic split by how far each
+/// flow travelled. `spine_utilization` is left 0 by the fabric itself
+/// (it has no notion of a measurement window); callers that know the
+/// makespan fill it as spine_busy_s / window.
+struct FabricStats {
+  bool modeled = false;         ///< false: the infinite-fabric default ran
+  std::uint64_t flows = 0;
+  double bytes_injected = 0;    ///< counted at send()
+  double bytes_delivered = 0;   ///< counted when the last link finishes
+  double local_bytes = 0;       ///< src == dst (never left the node)
+  double intra_rack_bytes = 0;  ///< crossed the ToR, not the spine
+  double cross_rack_bytes = 0;  ///< traversed the spine
+  Seconds spine_busy_s = 0;
+  double spine_utilization = 0;
+};
+
+class Fabric {
+ public:
+  /// `nic_bytes_per_s[i]` is node i's NIC line rate; must match the
+  /// topology's node count. ToR/spine capacities derive from the NIC
+  /// aggregates (see topology.hpp).
+  Fabric(Simulation& sim, Topology topo, std::vector<double> nic_bytes_per_s);
+
+  /// Replays one flow of `bytes` from node `src` to node `dst`;
+  /// `on_delivered` fires when its last link finishes. Zero-byte flows
+  /// still round-trip the event queue (via the ingress link) so
+  /// callback order stays deterministic.
+  void send(int src, int dst, double bytes, std::function<void()> on_delivered);
+
+  /// Completion time of this flow on an idle fabric: the bottleneck-
+  /// link closed form max-over-hops(bytes/rate).
+  Seconds ideal_flow_s(int src, int dst, double bytes) const;
+
+  const Topology& topology() const { return topo_; }
+  double nic_rate(int node) const { return nic_rate_[static_cast<std::size_t>(node)]; }
+  /// Spine capacity in bytes/s; 0 when the spine is non-blocking or
+  /// the topology has a single rack.
+  double spine_rate() const { return spine_rate_; }
+
+  ServiceQueue& ingress(int node) { return *ingress_[static_cast<std::size_t>(node)]; }
+  const ServiceQueue& ingress(int node) const { return *ingress_[static_cast<std::size_t>(node)]; }
+  ServiceQueue& egress(int node) { return *egress_[static_cast<std::size_t>(node)]; }
+  ServiceQueue& tor(int rack) { return *tor_[static_cast<std::size_t>(rack)]; }
+  bool has_spine() const { return spine_ != nullptr; }
+  ServiceQueue& spine() { return *spine_; }
+
+  /// Conservation ledger; spine_busy_s is folded in, spine_utilization
+  /// stays 0 (the caller owns the window).
+  FabricStats stats() const;
+
+ private:
+  Simulation& sim_;
+  Topology topo_;
+  std::vector<double> nic_rate_;
+  std::vector<double> tor_rate_;   ///< per rack; 0 = non-blocking
+  double spine_rate_ = 0;          ///< 0 = non-blocking / single rack
+  std::vector<std::unique_ptr<ServiceQueue>> egress_;
+  std::vector<std::unique_ptr<ServiceQueue>> ingress_;
+  std::vector<std::unique_ptr<ServiceQueue>> tor_;
+  std::unique_ptr<ServiceQueue> spine_;
+  FabricStats stats_;
+};
+
+/// Decomposes one reducer's shuffle into per-source flows and replays
+/// them through the fabric. The per-task records carry only the total
+/// shuffle volume (SimTask::net_bytes); the router splits it across
+/// the nodes that produced the map outputs, weighted by how many of
+/// the job's map tasks each node ran — the same proportional-fetch
+/// assumption Hadoop's copier makes when every map output is the same
+/// size.
+class FlowRouter {
+ public:
+  explicit FlowRouter(Fabric& fabric) : fabric_(fabric) {}
+
+  /// Sends bytes * weight/total from every (node, weight) source to
+  /// `dst`; `on_done` fires when the last flow lands. Non-positive
+  /// weights are skipped; with no usable source (a map task's HDFS
+  /// read, a map-less job) the whole volume is one local flow — which
+  /// still pays dst's ingress NIC, per the routing contract above.
+  void shuffle(int dst, const std::vector<std::pair<int, double>>& sources, double bytes,
+               std::function<void()> on_done);
+
+  Fabric& fabric() { return fabric_; }
+
+ private:
+  Fabric& fabric_;
+};
+
+}  // namespace bvl::sim

@@ -1,0 +1,50 @@
+#include "sim/network/topology.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bvl::sim {
+
+int Topology::racks() const {
+  int max_rack = -1;
+  for (int r : rack_of) max_rack = std::max(max_rack, r);
+  return max_rack + 1;
+}
+
+void Topology::validate() const {
+  require(!rack_of.empty(), "Topology: no nodes");
+  require(tor_oversub >= 0, "Topology: negative tor_oversub");
+  require(spine_oversub >= 0, "Topology: negative spine_oversub");
+  const int nracks = racks();
+  std::vector<bool> seen(static_cast<std::size_t>(nracks), false);
+  for (int r : rack_of) {
+    require(r >= 0, "Topology: negative rack id");
+    seen[static_cast<std::size_t>(r)] = true;
+  }
+  for (int r = 0; r < nracks; ++r) {
+    require(seen[static_cast<std::size_t>(r)], "Topology: rack ids must be contiguous");
+  }
+}
+
+Topology Topology::single_rack(int nodes) {
+  require(nodes >= 1, "Topology: need at least one node");
+  Topology t;
+  t.rack_of.assign(static_cast<std::size_t>(nodes), 0);
+  return t;
+}
+
+Topology Topology::uniform(int racks, int nodes_per_rack, double spine_oversub,
+                           double tor_oversub) {
+  require(racks >= 1 && nodes_per_rack >= 1, "Topology: need >= 1 rack of >= 1 node");
+  Topology t;
+  t.spine_oversub = spine_oversub;
+  t.tor_oversub = tor_oversub;
+  t.rack_of.reserve(static_cast<std::size_t>(racks) * static_cast<std::size_t>(nodes_per_rack));
+  for (int r = 0; r < racks; ++r) {
+    for (int n = 0; n < nodes_per_rack; ++n) t.rack_of.push_back(r);
+  }
+  return t;
+}
+
+}  // namespace bvl::sim

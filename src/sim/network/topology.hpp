@@ -1,0 +1,62 @@
+// Datacenter fabric description: which rack each node lives in and how
+// oversubscribed the switching layers are. The Topology is pure data —
+// sim/network/fabric.hpp turns it into per-link ServiceQueues on the
+// discrete-event kernel — so the same description can parameterize the
+// single-node pricer replay, the batch rack mix and the open-stream
+// service simulation.
+//
+// Capacity model (classic leaf-spine accounting):
+//   * every node owns a full-duplex NIC — one egress and one ingress
+//     link at the node's own line rate;
+//   * each rack's ToR switch fabric carries every flow that enters or
+//     leaves one of its hosts, at (sum of member NIC rates) /
+//     tor_oversub;
+//   * one spine interconnects the ToRs; only rack-crossing flows
+//     traverse it, at (sum of all NIC rates) / spine_oversub. A
+//     spine_oversub of 8 is the "8:1 oversubscribed core" of datacenter
+//     practice: hosts can collectively inject 8x what the core carries.
+// An oversubscription factor of 0 means "non-blocking": the layer is
+// dropped from every path instead of being modeled at infinite rate.
+#pragma once
+
+#include <vector>
+
+namespace bvl::sim {
+
+struct Topology {
+  /// rack_of[node] = rack index. Rack ids must be 0-based and
+  /// contiguous; node order matches the flat node order of whatever
+  /// rack the fabric is attached to.
+  std::vector<int> rack_of;
+  /// Host-aggregate : ToR-fabric capacity ratio (>= 0; 0 = non-blocking).
+  double tor_oversub = 1.0;
+  /// ToR-aggregate : spine capacity ratio (>= 0; 0 = non-blocking).
+  double spine_oversub = 1.0;
+
+  int nodes() const { return static_cast<int>(rack_of.size()); }
+  int racks() const;
+
+  /// Throws util::Error on non-contiguous rack ids or negative factors.
+  void validate() const;
+
+  /// All nodes in one rack: no spine traffic is possible.
+  static Topology single_rack(int nodes);
+  /// `racks` racks of `nodes_per_rack` nodes each, filled in node order.
+  static Topology uniform(int racks, int nodes_per_rack, double spine_oversub = 1.0,
+                          double tor_oversub = 1.0);
+};
+
+/// The knob every pricing layer takes. The default — modeled = false —
+/// is the infinite fabric: shuffle is charged only at the destination
+/// node's NIC, exactly the per-task analytic term the closed-form
+/// model prices, so every golden stays byte-identical. Turning
+/// `modeled` on replays shuffle flows through the Topology's links and
+/// lets rack placement, job splitting and co-located tenants contend.
+struct FabricOptions {
+  bool modeled = false;
+  /// Used when modeled. An empty rack_of means "one rack spanning all
+  /// nodes of the attached rack" (no spine, ToR at tor_oversub).
+  Topology topology;
+};
+
+}  // namespace bvl::sim

@@ -128,5 +128,62 @@ TEST(EventQueueModel, CancelHeavyPhasesForceCompaction) {
   }
 }
 
+TEST(EventQueueModel, InterleavedCancelRepushKeepsFifoTiesAcrossCompaction) {
+  // Regression shape for the lazy-cancel + in-place compaction pair:
+  // cancel an event sitting in a timestamp tie cluster and immediately
+  // repush its replacement at the SAME timestamp. The replacement gets
+  // a fresh seq, so it must fire strictly after every older live event
+  // at that time — and the compactions the cancels trigger (dead >
+  // live) must not reorder the tie or resurrect the cancelled entry.
+  // Times are drawn from four ticks only, so nearly every event lives
+  // in a tie cluster and the (time, seq) order is load-bearing on
+  // every single pop.
+  SimClock clock;
+  EventQueue q;
+  std::vector<EventId> fired;
+  std::set<std::pair<Seconds, EventId>> ref;
+  std::vector<Seconds> time_of;
+  Pcg32 rng(0xc0de, 0x11);
+
+  auto push_at = [&](Seconds t) {
+    EventId my = static_cast<EventId>(time_of.size());
+    ASSERT_EQ(q.push(t, [&fired, my] { fired.push_back(my); }), my);
+    ref.insert({t, my});
+    time_of.push_back(t);
+  };
+  auto pop_one = [&] {
+    auto front = *ref.begin();
+    ref.erase(ref.begin());
+    ASSERT_EQ(q.next_time(), front.first);
+    q.run_next(clock);
+    ASSERT_EQ(fired.back(), front.second);
+    ASSERT_EQ(clock.now(), front.first);
+  };
+
+  for (int op = 0; op < 4000; ++op) {
+    double r = rng.next_double();
+    if (r < 0.35 || ref.empty()) {
+      push_at(clock.now() + 0.5 * static_cast<double>(rng.uniform(0, 3)));
+    } else if (r < 0.85) {
+      // The interleaving under test: cancel-then-repush at one tick.
+      auto it = ref.begin();
+      std::advance(it, static_cast<long>(rng.uniform(0, ref.size() - 1)));
+      auto [t, id] = *it;
+      ref.erase(it);
+      ASSERT_TRUE(q.cancel(id));
+      ASSERT_FALSE(q.cancel(id));  // dead stays dead across the repush
+      push_at(t);                  // replacement at the SAME timestamp
+    } else {
+      pop_one();
+    }
+    ASSERT_EQ(q.size(), ref.size());
+    ASSERT_EQ(q.empty(), ref.empty());
+  }
+  // Drain: every survivor (original or replacement) in (time, seq)
+  // order, bit for bit against the reference.
+  while (!ref.empty()) pop_one();
+  ASSERT_TRUE(q.empty());
+}
+
 }  // namespace
 }  // namespace bvl::sim

@@ -1,0 +1,431 @@
+// Fabric differential suite: the modeled datacenter fabric
+// (sim/network) replayed against a scalar reference model. The
+// reference re-derives every link rate with the same arithmetic and
+// walks the flows in submission order with plain max()/+ bookkeeping,
+// so the event-queue replay must reproduce it EXACTLY — equality on
+// doubles, not tolerance — plus the conservation laws the ledger
+// promises: bytes injected equal bytes delivered, no link's busy
+// integral exceeds capacity x elapsed time, and an uncontended flow
+// completes in the bottleneck-link closed form max-over-hops.
+//
+// The degenerate checks tie the fabric to the pricing stack: an
+// infinite fabric (single node, everything local) must price all six
+// paper workloads identically to the pre-fabric analytic NIC term,
+// and fabric-mode service runs must honor the same determinism
+// contract as the default path (byte-identical across executor
+// widths and reruns, distinct across seeds).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "arch/server_config.hpp"
+#include "core/characterizer.hpp"
+#include "core/cluster_sim.hpp"
+#include "perf/pricer.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network/fabric.hpp"
+#include "sim/network/topology.hpp"
+#include "sim/resource.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workloads/registry.hpp"
+
+namespace bvl::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference model
+// ---------------------------------------------------------------------------
+
+struct RefLink {
+  Seconds free_at = 0;
+  Seconds busy = 0;
+  std::uint64_t requests = 0;
+
+  Seconds claim(Seconds t, double svc) {
+    Seconds start = std::max(t, free_at);
+    free_at = start + svc;
+    busy += svc;
+    ++requests;
+    return free_at;
+  }
+};
+
+/// Re-derives the fabric's link rates with the same summation order
+/// and replays flows with scalar arithmetic: per link, start =
+/// max(send time, link free); flow delivered when its slowest link
+/// finishes. This is the whole timing model in ~30 lines — anything
+/// the ServiceQueue replay does differently is a bug in one of them.
+struct RefFabric {
+  Topology topo;
+  std::vector<double> nic;
+  std::vector<double> tor_rate;
+  double spine_rate = 0;
+  std::vector<RefLink> egress, ingress, tor;
+  RefLink spine;
+
+  RefFabric(Topology t, std::vector<double> rates) : topo(std::move(t)), nic(std::move(rates)) {
+    const int nracks = topo.racks();
+    tor_rate.assign(static_cast<std::size_t>(nracks), 0.0);
+    double total = 0;
+    for (int n = 0; n < topo.nodes(); ++n) {
+      tor_rate[static_cast<std::size_t>(topo.rack_of[static_cast<std::size_t>(n)])] +=
+          nic[static_cast<std::size_t>(n)];
+      total += nic[static_cast<std::size_t>(n)];
+    }
+    for (int r = 0; r < nracks; ++r) {
+      tor_rate[static_cast<std::size_t>(r)] =
+          topo.tor_oversub > 0 ? tor_rate[static_cast<std::size_t>(r)] / topo.tor_oversub : 0;
+    }
+    if (nracks > 1 && topo.spine_oversub > 0) spine_rate = total / topo.spine_oversub;
+    egress.resize(static_cast<std::size_t>(topo.nodes()));
+    ingress.resize(static_cast<std::size_t>(topo.nodes()));
+    tor.resize(static_cast<std::size_t>(nracks));
+  }
+
+  Seconds send(Seconds t, int src, int dst, double bytes) {
+    Seconds done = t;
+    auto hop = [&](RefLink& l, double rate) {
+      if (rate <= 0) return;
+      done = std::max(done, l.claim(t, bytes / rate));
+    };
+    const int sr = topo.rack_of[static_cast<std::size_t>(src)];
+    const int dr = topo.rack_of[static_cast<std::size_t>(dst)];
+    if (src != dst) {
+      hop(egress[static_cast<std::size_t>(src)], nic[static_cast<std::size_t>(src)]);
+      hop(tor[static_cast<std::size_t>(sr)], tor_rate[static_cast<std::size_t>(sr)]);
+      if (sr != dr) {
+        if (spine_rate > 0) hop(spine, spine_rate);
+        hop(tor[static_cast<std::size_t>(dr)], tor_rate[static_cast<std::size_t>(dr)]);
+      }
+    }
+    hop(ingress[static_cast<std::size_t>(dst)], nic[static_cast<std::size_t>(dst)]);
+    return done;
+  }
+};
+
+struct FlowSpec {
+  Seconds at = 0;
+  int src = 0;
+  int dst = 0;
+  double bytes = 0;
+};
+
+Topology random_topology(Pcg32& rng) {
+  const double oversubs[] = {0.0, 0.5, 1.0, 2.0, 8.0};
+  int racks = static_cast<int>(rng.uniform(1, 3));
+  int per_rack = static_cast<int>(rng.uniform(1, 4));
+  Topology topo = Topology::uniform(racks, per_rack,
+                                    oversubs[rng.uniform(0, 4)], oversubs[rng.uniform(0, 4)]);
+  return topo;
+}
+
+TEST(FabricModel, RandomizedDifferentialAgainstScalarReference) {
+  Pcg32 rng(2024, 0xfab);
+  for (int cfg = 0; cfg < 30; ++cfg) {
+    Topology topo = random_topology(rng);
+    const int nodes = topo.nodes();
+    std::vector<double> rates;
+    for (int n = 0; n < nodes; ++n) rates.push_back(rng.uniform_real(1e6, 2e8));
+
+    std::vector<FlowSpec> flows(rng.uniform(1, 200));
+    Seconds t = 0;
+    for (auto& f : flows) {
+      t += rng.exponential(50.0);  // bursty enough to queue on shared links
+      f.at = t;
+      f.src = static_cast<int>(rng.uniform(0, static_cast<std::uint64_t>(nodes - 1)));
+      f.dst = static_cast<int>(rng.uniform(0, static_cast<std::uint64_t>(nodes - 1)));
+      f.bytes = rng.chance(0.05) ? 0.0 : rng.uniform_real(1.0, 5e8);
+    }
+
+    Simulation sim;
+    Fabric fabric(sim, topo, rates);
+    std::vector<Seconds> delivered(flows.size(), -1);
+    double injected = 0;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const FlowSpec& f = flows[i];
+      injected += f.bytes;
+      sim.at(f.at, [&fabric, &delivered, &sim, f, i] {
+        fabric.send(f.src, f.dst, f.bytes, [&delivered, &sim, i] { delivered[i] = sim.now(); });
+      });
+    }
+    sim.run();
+
+    RefFabric ref(topo, rates);
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const FlowSpec& f = flows[i];
+      // Exact equality: both sides run max(now, free_at) and
+      // free_at += bytes/rate on the same operands in the same order.
+      EXPECT_EQ(delivered[i], ref.send(f.at, f.src, f.dst, f.bytes))
+          << "cfg " << cfg << " flow " << i;
+    }
+
+    // Conservation: everything injected was delivered, exactly once.
+    FabricStats st = fabric.stats();
+    EXPECT_TRUE(st.modeled);
+    EXPECT_EQ(st.flows, flows.size());
+    // Delivered accumulates in completion order, injected in send
+    // order — the sums agree to rounding, not bitwise.
+    EXPECT_NEAR(st.bytes_injected, st.bytes_delivered, 1e-9 * std::max(1.0, injected));
+    EXPECT_NEAR(st.bytes_injected, injected, 1e-9 * std::max(1.0, injected));
+    EXPECT_NEAR(st.local_bytes + st.intra_rack_bytes + st.cross_rack_bytes, st.bytes_injected,
+                1e-9 * std::max(1.0, injected));
+
+    // Per-link busy integral: matches the reference exactly and never
+    // exceeds capacity x elapsed time (a serialized link cannot be
+    // busy longer than the clock ran).
+    const Seconds end = sim.now();
+    auto check_link = [&](const ServiceQueue& q, const RefLink& r, const char* what) {
+      EXPECT_EQ(q.busy_s(), r.busy) << "cfg " << cfg << " " << what;
+      EXPECT_EQ(q.requests(), r.requests) << "cfg " << cfg << " " << what;
+      EXPECT_LE(q.busy_s(), end * (1 + 1e-12) + 1e-12) << "cfg " << cfg << " " << what;
+    };
+    for (int n = 0; n < nodes; ++n) {
+      check_link(fabric.egress(n), ref.egress[static_cast<std::size_t>(n)], "egress");
+      check_link(fabric.ingress(n), ref.ingress[static_cast<std::size_t>(n)], "ingress");
+    }
+    for (int r = 0; r < topo.racks(); ++r) {
+      check_link(fabric.tor(r), ref.tor[static_cast<std::size_t>(r)], "tor");
+    }
+    if (fabric.has_spine()) check_link(fabric.spine(), ref.spine, "spine");
+  }
+}
+
+TEST(FabricModel, UncontendedFlowMatchesBottleneckClosedForm) {
+  Pcg32 rng(7, 0xb0);
+  for (int cfg = 0; cfg < 20; ++cfg) {
+    Topology topo = random_topology(rng);
+    const int nodes = topo.nodes();
+    std::vector<double> rates;
+    for (int n = 0; n < nodes; ++n) rates.push_back(rng.uniform_real(1e6, 2e8));
+    int src = static_cast<int>(rng.uniform(0, static_cast<std::uint64_t>(nodes - 1)));
+    int dst = static_cast<int>(rng.uniform(0, static_cast<std::uint64_t>(nodes - 1)));
+    double bytes = rng.uniform_real(1.0, 1e9);
+
+    // On an idle fabric the pipelined flow completes when its slowest
+    // link does: max-over-hops(bytes/rate), which is ideal_flow_s.
+    Simulation sim;
+    Fabric fabric(sim, topo, rates);
+    Seconds delivered = -1;
+    fabric.send(src, dst, bytes, [&] { delivered = sim.now(); });
+    sim.run();
+    EXPECT_EQ(delivered, fabric.ideal_flow_s(src, dst, bytes)) << "cfg " << cfg;
+
+    // And the closed form really is the max over the traversed hops.
+    RefFabric ref(topo, rates);
+    Seconds by_hand = 0;
+    auto hop = [&](double rate) {
+      if (rate > 0) by_hand = std::max(by_hand, bytes / rate);
+    };
+    const int sr = topo.rack_of[static_cast<std::size_t>(src)];
+    const int dr = topo.rack_of[static_cast<std::size_t>(dst)];
+    if (src != dst) {
+      hop(ref.nic[static_cast<std::size_t>(src)]);
+      hop(ref.tor_rate[static_cast<std::size_t>(sr)]);
+      if (sr != dr) {
+        hop(ref.spine_rate);
+        hop(ref.tor_rate[static_cast<std::size_t>(dr)]);
+      }
+    }
+    hop(ref.nic[static_cast<std::size_t>(dst)]);
+    EXPECT_EQ(delivered, by_hand) << "cfg " << cfg;
+  }
+}
+
+TEST(FabricModel, ValidationRejectsMalformedInput) {
+  Simulation sim;
+  Topology topo = Topology::uniform(2, 2);
+  EXPECT_THROW(Fabric(sim, topo, {1e6, 1e6}), Error);             // rate count mismatch
+  EXPECT_THROW(Fabric(sim, topo, {1e6, 1e6, 1e6, 0.0}), Error);   // non-positive NIC
+  Topology gap;
+  gap.rack_of = {0, 2};  // rack 1 missing
+  EXPECT_THROW(gap.validate(), Error);
+  Topology neg;
+  neg.rack_of = {0};
+  neg.spine_oversub = -1;
+  EXPECT_THROW(neg.validate(), Error);
+
+  Fabric fabric(sim, topo, {1e6, 1e6, 1e6, 1e6});
+  EXPECT_THROW(fabric.send(-1, 0, 1.0, [] {}), Error);
+  EXPECT_THROW(fabric.send(0, 4, 1.0, [] {}), Error);
+  EXPECT_THROW(fabric.send(0, 1, -1.0, [] {}), Error);
+}
+
+TEST(FlowRouter, ShuffleDecomposesProportionallyAndConserves) {
+  Simulation sim;
+  Topology topo = Topology::uniform(2, 2);  // nodes 0,1 rack 0; 2,3 rack 1
+  Fabric fabric(sim, topo, {1e7, 2e7, 3e7, 4e7});
+  FlowRouter router(fabric);
+
+  // Weighted sources: node 2's zero weight is skipped, the rest split
+  // 8 MB as 2:1:1 — one local, one cross-rack, one intra-rack flow.
+  int done = 0;
+  router.shuffle(0, {{0, 2.0}, {1, 1.0}, {2, 0.0}, {3, 1.0}}, 8e6, [&] { ++done; });
+  sim.run();
+  EXPECT_EQ(done, 1);  // one completion for the whole decomposition
+  FabricStats st = fabric.stats();
+  EXPECT_EQ(st.flows, 3u);
+  EXPECT_EQ(st.bytes_injected, 8e6);
+  EXPECT_EQ(st.bytes_delivered, 8e6);
+  EXPECT_EQ(st.local_bytes, 4e6);       // node 0 -> 0, weight 2/4
+  EXPECT_EQ(st.intra_rack_bytes, 2e6);  // node 1 -> 0
+  EXPECT_EQ(st.cross_rack_bytes, 2e6);  // node 3 -> 0
+  EXPECT_EQ(fabric.ingress(0).requests(), 3u);  // every flow pays dst ingress
+  EXPECT_EQ(fabric.egress(0).requests(), 0u);   // local flow skips egress
+  EXPECT_EQ(fabric.egress(2).requests(), 0u);   // zero weight never sent
+
+  // No usable source (a map task, or an all-zero weight vector): the
+  // whole volume is one local flow — still through dst's ingress NIC.
+  Simulation sim2;
+  Fabric fabric2(sim2, topo, {1e7, 2e7, 3e7, 4e7});
+  FlowRouter router2(fabric2);
+  int done2 = 0;
+  router2.shuffle(1, {}, 5e6, [&] { ++done2; });
+  router2.shuffle(1, {{0, 0.0}, {2, -3.0}}, 5e6, [&] { ++done2; });
+  sim2.run();
+  EXPECT_EQ(done2, 2);
+  EXPECT_EQ(fabric2.stats().local_bytes, 1e7);
+  EXPECT_EQ(fabric2.ingress(1).requests(), 2u);
+  EXPECT_EQ(fabric2.egress(0).requests(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate infinite fabric == the analytic NIC term
+// ---------------------------------------------------------------------------
+
+core::Characterizer& shared_ch() {
+  static core::Characterizer ch;  // trace cache shared across the suite
+  return ch;
+}
+
+TEST(FabricModel, InfiniteFabricMatchesAnalyticShuffleTermOnAllSixWorkloads) {
+  // fabric.modeled with the degenerate single-node topology routes
+  // every byte as a local flow that pays only the destination NIC —
+  // arithmetic-identical to the analytic per-task NIC term the default
+  // replay charges. The paper's six workloads on both servers must
+  // price the same to <= 1e-9 (they are in fact bit-identical).
+  core::Characterizer& ch = shared_ch();
+  perf::EventOptions deg;
+  deg.fabric.modeled = true;  // empty topology -> single_rack(1)
+  for (const auto& server : {arch::xeon_e5_2420(), arch::atom_c2758()}) {
+    perf::EventPricer plain(server, ch.dfs(), ch.cluster_config());
+    perf::EventPricer modeled(server, ch.dfs(), ch.cluster_config(), deg);
+    for (wl::WorkloadId w : wl::all_workloads()) {
+      core::RunSpec spec;
+      spec.workload = w;
+      spec.input_size = 1 * GB;
+      const mr::JobTrace& trace = ch.trace(spec);
+      perf::RunResult a = plain.price(trace, spec.freq, spec.mappers);
+      perf::RunResult b = modeled.price(trace, spec.freq, spec.mappers);
+      auto near = [&](double x, double y, const char* what) {
+        EXPECT_LE(std::abs(x - y), 1e-9 * std::max({std::abs(x), std::abs(y), 1.0}))
+            << server.name << "/" << wl::short_name(w) << " " << what;
+      };
+      near(a.map.time, b.map.time, "map time");
+      near(a.reduce.time, b.reduce.time, "reduce time");
+      near(a.other.time, b.other.time, "other time");
+      near(a.map.net_time, b.map.net_time, "map net");
+      near(a.reduce.net_time, b.reduce.net_time, "reduce net");
+      near(a.total_time(), b.total_time(), "total time");
+      near(a.total_energy(), b.total_energy(), "total energy");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract (mirrors test_service_sim.cpp)
+// ---------------------------------------------------------------------------
+
+std::vector<core::TenantWorkload> two_tenants() {
+  core::TenantWorkload batch;
+  batch.tenant = {"batch", 1.0, 0, 1.0};
+  batch.mix = {{wl::WorkloadId::kWordCount, 1 * GB}, {wl::WorkloadId::kGrep, 1 * GB}};
+  core::TenantWorkload adhoc;
+  adhoc.tenant = {"adhoc", 1.0, 0, 1.0};
+  adhoc.mix = {{wl::WorkloadId::kSort, 1 * GB}};
+  return {batch, adhoc};
+}
+
+core::ServiceOptions fabric_service_opts() {
+  core::ServiceOptions opts;
+  opts.arrival_rate = 0.05;
+  opts.diurnal.amplitude = 0.3;
+  opts.horizon = 3600.0;
+  opts.warmup = 300.0;
+  opts.seed = 1;
+  // Stripe the 9 nodes across two racks (Xeons 0/1 land in different
+  // racks) with a 4:1 spine. Striping — not class-per-rack — is what
+  // guarantees cross-rack shuffle: earliest-finish placement
+  // concentrates this light stream on the two fast Xeons, and with
+  // one Xeon per rack their reduces must fetch over the spine.
+  opts.policy = core::MixPolicy::kEarliestFinish;
+  opts.mix.fabric.modeled = true;
+  opts.mix.fabric.topology.rack_of = {0, 1, 0, 1, 0, 1, 0, 1, 0};
+  opts.mix.fabric.topology.spine_oversub = 4.0;
+  return opts;
+}
+
+TEST(FabricDeterminism, SameSeedByteIdenticalAcrossThreadsAndRuns) {
+  auto rack = core::comparison_racks(4)[2];  // 2 Xeon + 7 Atom
+  core::ServiceOptions opts = fabric_service_opts();
+  core::ServiceResult a = core::simulate_service(shared_ch(), two_tenants(), rack, opts, 1);
+  core::ServiceResult b = core::simulate_service(shared_ch(), two_tenants(), rack, opts, 2);
+  core::ServiceResult c = core::simulate_service(shared_ch(), two_tenants(), rack, opts, 4);
+  core::ServiceResult d = core::simulate_service(shared_ch(), two_tenants(), rack, opts, 2);
+  auto expect_identical = [](const core::ServiceResult& x, const core::ServiceResult& y) {
+    EXPECT_EQ(x.arrivals, y.arrivals);
+    EXPECT_EQ(x.measured_jobs, y.measured_jobs);
+    EXPECT_EQ(x.events_run, y.events_run);
+    // Bitwise equality, not NEAR: the fabric replay is single-threaded
+    // like the rest of the timeline; the executor pool only pre-warms
+    // the trace cache.
+    EXPECT_EQ(x.sojourn.mean, y.sojourn.mean);
+    EXPECT_EQ(x.sojourn.p99, y.sojourn.p99);
+    EXPECT_EQ(x.queue_delay.mean, y.queue_delay.mean);
+    EXPECT_EQ(x.little_l, y.little_l);
+    EXPECT_EQ(x.dynamic_energy, y.dynamic_energy);
+    EXPECT_EQ(x.energy_per_job, y.energy_per_job);
+    EXPECT_TRUE(x.fabric.modeled);
+    EXPECT_EQ(x.fabric.flows, y.fabric.flows);
+    EXPECT_EQ(x.fabric.bytes_injected, y.fabric.bytes_injected);
+    EXPECT_EQ(x.fabric.bytes_delivered, y.fabric.bytes_delivered);
+    EXPECT_EQ(x.fabric.local_bytes, y.fabric.local_bytes);
+    EXPECT_EQ(x.fabric.intra_rack_bytes, y.fabric.intra_rack_bytes);
+    EXPECT_EQ(x.fabric.cross_rack_bytes, y.fabric.cross_rack_bytes);
+    EXPECT_EQ(x.fabric.spine_busy_s, y.fabric.spine_busy_s);
+    EXPECT_EQ(x.fabric.spine_utilization, y.fabric.spine_utilization);
+  };
+  expect_identical(a, b);
+  expect_identical(a, c);
+  expect_identical(a, d);
+
+  // The modeled fabric actually carried the shuffle: flows moved, the
+  // ledger conserves them, and some crossed the spine.
+  EXPECT_GT(a.fabric.flows, 0u);
+  EXPECT_EQ(a.fabric.bytes_injected, a.fabric.bytes_delivered);
+  EXPECT_GT(a.fabric.cross_rack_bytes, 0.0);
+  EXPECT_GT(a.fabric.spine_busy_s, 0.0);
+}
+
+TEST(FabricDeterminism, DistinctSeedsDistinctStreams) {
+  auto rack = core::comparison_racks(4)[2];
+  core::ServiceOptions opts = fabric_service_opts();
+  core::ServiceResult a = core::simulate_service(shared_ch(), two_tenants(), rack, opts);
+  opts.seed = 2;
+  core::ServiceResult b = core::simulate_service(shared_ch(), two_tenants(), rack, opts);
+  EXPECT_TRUE(a.arrivals != b.arrivals || a.sojourn.mean != b.sojourn.mean ||
+              a.fabric.bytes_injected != b.fabric.bytes_injected);
+}
+
+TEST(FabricDeterminism, TopologyMismatchIsRejected) {
+  auto rack = core::comparison_racks(4)[2];  // 9 nodes
+  core::ServiceOptions opts = fabric_service_opts();
+  opts.mix.fabric.topology.rack_of = {0, 0, 1, 1};  // wrong node count
+  EXPECT_THROW(core::simulate_service(shared_ch(), two_tenants(), rack, opts), Error);
+}
+
+}  // namespace
+}  // namespace bvl::sim

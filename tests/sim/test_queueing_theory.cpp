@@ -24,8 +24,18 @@
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/network/fabric.hpp"
+#include "sim/network/topology.hpp"
 #include "sim/workload/quantile.hpp"
 #include "util/rng.hpp"
+
+// Flow count for the contended-spine M/M/1 test below. The slow tier
+// recompiles this file at BVL_FABRIC_FLOWS=1000000 (see
+// tests/CMakeLists.txt) so the fabric is stressed at service-horizon
+// scale outside the tier-1 gate.
+#ifndef BVL_FABRIC_FLOWS
+#define BVL_FABRIC_FLOWS 120000
+#endif
 
 namespace bvl::sim {
 namespace {
@@ -171,6 +181,71 @@ TEST(QueueingTheory, LittlesLawHoldsOnTheKernel) {
   EXPECT_NEAR(m.mean_in_system, m.lambda * m.mean_sojourn, 0.02 * m.mean_in_system);
   MmcMeasured m4 = run_mmc(3.2, 1.0, 4, 120000, 20000, 7);
   EXPECT_NEAR(m4.mean_in_system, m4.lambda * m4.mean_sojourn, 0.02 * m4.mean_in_system);
+}
+
+TEST(QueueingTheory, ContendedSpineLinkIsMm1) {
+  // The same differential question asked of the network fabric: a
+  // single oversubscribed spine link fed Poisson flows with
+  // exponential sizes IS an M/M/1 queue, so the measured waits must
+  // reproduce Wq = rho/(mu - lambda).
+  //
+  // Setup: 2 racks x 1 node, ToR oversubscription 0 (non-blocking,
+  // the layer drops out of the path) and NICs at 1e15 B/s so the
+  // endpoint hops are nine orders of magnitude faster than the spine
+  // — a flow's delivery time is exactly its spine finish time. The
+  // spine oversubscription is picked so the spine serves 1e6 B/s:
+  // total NIC 2e15 / 2e9 = 1e6. Flow sizes are svc * spine_rate with
+  // svc ~ Exp(mu), i.e. service times are exponential by construction.
+  const int kFlows = BVL_FABRIC_FLOWS;
+  const int kWarmup = kFlows / 6;
+  const double lambda = 0.8, mu = 1.0;
+  Simulation sim;
+  Topology topo = Topology::uniform(2, 1, /*spine_oversub=*/2e9, /*tor_oversub=*/0.0);
+  Fabric fabric(sim, topo, {1e15, 1e15});
+  ASSERT_TRUE(fabric.has_spine());
+  const double rate = fabric.spine_rate();
+  ASSERT_NEAR(rate, 1e6, 1.0);
+
+  Pcg32 arr(9, 0xa), size(9, 0xb);
+  std::vector<Seconds> sent(static_cast<std::size_t>(kFlows)),
+      svc(static_cast<std::size_t>(kFlows)), done(static_cast<std::size_t>(kFlows));
+  int spawned = 0;
+  std::function<void(Seconds)> arrive = [&](Seconds t) {
+    sim.at(t, [&, t] {
+      int j = spawned++;
+      sent[static_cast<std::size_t>(j)] = t;
+      svc[static_cast<std::size_t>(j)] = size.exponential(mu);
+      fabric.send(0, 1, svc[static_cast<std::size_t>(j)] * rate,
+                  [&, j] { done[static_cast<std::size_t>(j)] = sim.now(); });
+      if (spawned < kFlows) arrive(t + arr.exponential(lambda));
+    });
+  };
+  arrive(arr.exponential(lambda));
+  sim.run();
+
+  double wait = 0, sojourn = 0;
+  for (int j = kWarmup; j < kFlows; ++j) {
+    wait += done[static_cast<std::size_t>(j)] - sent[static_cast<std::size_t>(j)] -
+            svc[static_cast<std::size_t>(j)];
+    sojourn += done[static_cast<std::size_t>(j)] - sent[static_cast<std::size_t>(j)];
+  }
+  const int n = kFlows - kWarmup;
+  wait /= n;
+  sojourn /= n;
+  const double wq = lambda / mu / (mu - lambda);  // 4 s at rho = 0.8
+  EXPECT_NEAR(wait, wq, 0.08 * wq);
+  EXPECT_NEAR(sojourn, wq + 1.0 / mu, 0.08 * (wq + 1.0 / mu));
+
+  // The ledger balances at stress scale: every flow crossed the spine
+  // and arrived, and the link was busy for rho of the clock.
+  FabricStats st = fabric.stats();
+  EXPECT_EQ(st.flows, static_cast<std::uint64_t>(kFlows));
+  EXPECT_EQ(st.bytes_injected, st.bytes_delivered);
+  EXPECT_EQ(st.cross_rack_bytes, st.bytes_injected);
+  double total_svc = 0;
+  for (int j = 0; j < kFlows; ++j) total_svc += svc[static_cast<std::size_t>(j)];
+  EXPECT_NEAR(st.spine_busy_s, total_svc, 1e-9 * total_svc);
+  EXPECT_NEAR(st.spine_busy_s / sim.now(), lambda / mu, 0.03 * lambda / mu);
 }
 
 TEST(QueueingTheory, P2SketchTracksExactQuantilesOnExponential) {
