@@ -28,6 +28,7 @@
 #include "bench_common.hpp"
 #include "arch/cache_sim.hpp"
 #include "mapreduce/engine.hpp"
+#include "mapreduce/merge.hpp"
 #include "perf/perf_model.hpp"
 #include "util/rng.hpp"
 #include "workloads/registry.hpp"
@@ -78,6 +79,46 @@ void BM_EngineRunWide(benchmark::State& state) {
   state.SetLabel("WordCount 16 tasks, exec_threads=" + std::to_string(g_threads));
 }
 BENCHMARK(BM_EngineRunWide)->Unit(benchmark::kMillisecond);
+
+// Pure k-way merge throughput over pre-sorted arena runs: the loser
+// tree's ns/record, isolated from map/reduce work. range(0) is the
+// fan-in k.
+void BM_MergeRuns(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int per_run = 4096;
+  Pcg32 rng(42);
+  std::vector<mr::ArenaRun> master(static_cast<std::size_t>(k));
+  for (auto& run : master) {
+    for (int i = 0; i < per_run; ++i) {
+      char key[16];
+      std::snprintf(key, sizeof key, "%08llx",
+                    static_cast<unsigned long long>(rng.uniform(0, 1u << 24)));
+      run.refs.push_back(run.data.append(key, "v"));
+    }
+    mr::WorkCounters c;
+    counting_sort_run(run, c);
+  }
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<mr::ArenaRun> runs;
+    runs.reserve(master.size());
+    for (const auto& m : master) {
+      mr::ArenaRun copy;
+      copy.data.reserve(m.data.size());
+      for (const auto& ref : m.refs) copy.refs.push_back(copy.data.append(m.data, ref));
+      runs.push_back(std::move(copy));
+    }
+    state.ResumeTiming();
+    mr::WorkCounters c;
+    mr::ArenaRun out = mr::merge_runs(std::move(runs), c);
+    benchmark::DoNotOptimize(out.refs.data());
+    records += static_cast<std::int64_t>(out.size());
+  }
+  state.SetItemsProcessed(records);
+  state.SetLabel("k=" + std::to_string(k) + " runs of " + std::to_string(per_run));
+}
+BENCHMARK(BM_MergeRuns)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_CacheSimAccess(benchmark::State& state) {
   arch::CacheLevelConfig cfg{.name = "L2",

@@ -4,6 +4,64 @@
 
 namespace bvl::mr {
 
+namespace {
+
+/// One comparator invocation deciding a duel between two live slots.
+/// The lower slot index wins ties, which makes every consumer of the
+/// tree stable in run order: the higher slot wins only when its key is
+/// strictly smaller.
+inline bool higher_slot_wins(const LoserTree::Slot& lo, const LoserTree::Slot& hi) {
+  return ref_key_less(*hi.data, (*hi.refs)[hi.idx], *lo.data, (*lo.refs)[lo.idx]);
+}
+
+}  // namespace
+
+LoserTree::LoserTree(std::vector<Slot> slots, std::uint64_t* compares)
+    : slots_(std::move(slots)), compares_(compares) {
+  m_ = 1;
+  while (m_ < slots_.size()) m_ *= 2;
+  losers_.assign(m_, 0);
+  winner_ = m_ == 1 ? 0 : init_node(1);
+}
+
+std::size_t LoserTree::duel(std::size_t a, std::size_t b) {
+  // Exhausted and padding slots lose without a comparator call —
+  // there is no key to compare.
+  if (!valid(b)) return a;
+  if (!valid(a)) return b;
+  ++*compares_;
+  std::size_t lo = std::min(a, b);
+  std::size_t hi = std::max(a, b);
+  return higher_slot_wins(slots_[lo], slots_[hi]) ? hi : lo;
+}
+
+std::size_t LoserTree::init_node(std::size_t node) {
+  if (node >= m_) return node - m_;  // leaf: slot id (possibly padding)
+  std::size_t w1 = init_node(2 * node);
+  std::size_t w2 = init_node(2 * node + 1);
+  std::size_t w = duel(w1, w2);
+  losers_[node] = static_cast<std::uint32_t>(w == w1 ? w2 : w1);
+  return w;
+}
+
+void LoserTree::replay() {
+  std::size_t w = winner_;
+  for (std::size_t node = (m_ + w) / 2; node >= 1; node /= 2) {
+    std::size_t other = losers_[node];
+    std::size_t nw = duel(w, other);
+    if (nw != w) {
+      losers_[node] = static_cast<std::uint32_t>(w);
+      w = nw;
+    }
+  }
+  winner_ = w;
+}
+
+void LoserTree::pop_advance() {
+  ++slots_[winner_].idx;
+  if (m_ > 1) replay();
+}
+
 ArenaRun merge_runs(std::vector<ArenaRun> runs, WorkCounters& c) {
   // Drop empty runs up front.
   runs.erase(std::remove_if(runs.begin(), runs.end(),
@@ -12,37 +70,50 @@ ArenaRun merge_runs(std::vector<ArenaRun> runs, WorkCounters& c) {
   if (runs.empty()) return {};
   if (runs.size() == 1) return std::move(runs.front());
 
-  struct Cursor {
-    const ArenaRun* run;
-    std::size_t idx;
-  };
+  // Accumulate the duel count in a local so the merge's inner loop
+  // isn't serialized on a read-modify-write of the shared double.
   std::uint64_t compares = 0;
-  auto cmp = [&compares](const Cursor& a, const Cursor& b) {
-    ++compares;
-    // priority_queue is a max-heap; invert for ascending merge.
-    return ref_key_less(b.run->data, b.run->refs[b.idx], a.run->data, a.run->refs[a.idx]);
-  };
-  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> heap(cmp);
+  std::vector<LoserTree::Slot> slots;
+  slots.reserve(runs.size());
   std::size_t total = 0;
   std::size_t total_payload = 0;
   for (const auto& r : runs) {
     total += r.size();
     total_payload += r.data.size();
-    heap.push({&r, 0});
+    slots.push_back({&r.data, &r.refs, 0});
   }
+  LoserTree tree(std::move(slots), &compares);
 
   ArenaRun out;
   out.data.reserve(total_payload);
   out.refs.reserve(total);
-  while (!heap.empty()) {
-    Cursor cur = heap.top();
-    heap.pop();
-    out.refs.push_back(out.data.append(cur.run->data, cur.run->refs[cur.idx]));
-    if (cur.idx + 1 < cur.run->size()) heap.push({cur.run, cur.idx + 1});
+  while (!tree.empty()) {
+    const LoserTree::Slot& w = tree.winner();
+    out.refs.push_back(out.data.append(*w.data, (*w.refs)[w.idx]));
+    tree.pop_advance();
   }
   c.compares += static_cast<double>(compares);
   c.arena_bytes += static_cast<double>(out.data.size());
   return out;
+}
+
+ArenaRun merge_runs_reference(const std::vector<ArenaRun>& runs) {
+  std::vector<std::size_t> pos(runs.size(), 0);
+  ArenaRun out;
+  for (;;) {
+    std::size_t best = runs.size();
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      if (pos[r] >= runs[r].size()) continue;
+      if (best == runs.size() ||
+          ref_key_less(runs[r].data, runs[r].refs[pos[r]], runs[best].data,
+                       runs[best].refs[pos[best]])) {
+        best = r;  // strictly smaller key, or first live run (lowest index keeps ties)
+      }
+    }
+    if (best == runs.size()) return out;
+    out.refs.push_back(out.data.append(runs[best].data, runs[best].refs[pos[best]]));
+    ++pos[best];
+  }
 }
 
 void counting_sort_refs(const KVArena& data, std::vector<KVRef>& refs, WorkCounters& c) {
@@ -65,6 +136,15 @@ double refs_bytes(const std::vector<KVRef>& refs) {
   for (const auto& r : refs) b += static_cast<double>(r.bytes());
   return b;
 }
+
+std::vector<LoserTree::Slot> segment_slots(const std::vector<RunView>& segments) {
+  std::vector<LoserTree::Slot> slots;
+  slots.reserve(segments.size());
+  for (const auto& seg : segments) {
+    if (!seg.empty()) slots.push_back({seg.data, &seg.refs, 0});
+  }
+  return slots;
+}
 }  // namespace
 
 double run_bytes(const ArenaRun& run) { return refs_bytes(run.refs); }
@@ -78,36 +158,37 @@ bool is_sorted_run(const ArenaRun& run) {
 }
 
 GroupIterator::GroupIterator(const std::vector<RunView>& segments, WorkCounters& c)
-    : heap_(Compare{&c.compares}) {
-  for (const auto& seg : segments) {
-    if (!seg.empty()) heap_.push({&seg, 0});
-  }
-}
+    : tree_(segment_slots(segments), &compares_), sink_(&c.compares) {}
 
-void GroupIterator::advance(Cursor cur) {
-  if (cur.idx + 1 < cur.run->size()) heap_.push({cur.run, cur.idx + 1});
+GroupIterator::~GroupIterator() {
+  *sink_ += static_cast<double>(compares_);
+  compares_ = 0;
 }
 
 bool GroupIterator::next(std::string_view& key, std::vector<std::string_view>& values) {
   values.clear();
-  if (heap_.empty()) return false;
-  Cursor cur = heap_.top();
-  heap_.pop();
-  const KVArena& cur_data = *cur.run->data;
-  const KVRef cur_ref = cur.run->refs[cur.idx];
+  if (tree_.empty()) {
+    // Flush the duel tally as soon as the caller observes exhaustion,
+    // so counters read correctly while the iterator is still alive.
+    *sink_ += static_cast<double>(compares_);
+    compares_ = 0;
+    return false;
+  }
+  const LoserTree::Slot& w = tree_.winner();
+  const KVArena& cur_data = *w.data;
+  const KVRef cur_ref = (*w.refs)[w.idx];
   key = cur_data.key(cur_ref);
   values.push_back(cur_data.value(cur_ref));
-  advance(cur);
-  // Gather the rest of the group: equality checks against the heap
-  // top are plain view compares, not charged comparator work (the
+  tree_.pop_advance();
+  // Gather the rest of the group: equality checks against the tree
+  // winner are plain view compares, not charged comparator work (the
   // original merge-then-group path's grouping scan was uncharged
   // too).
-  while (!heap_.empty()) {
-    Cursor top = heap_.top();
-    if (!ref_key_eq(*top.run->data, top.run->refs[top.idx], cur_data, cur_ref)) break;
-    heap_.pop();
-    values.push_back(top.run->value(top.idx));
-    advance(top);
+  while (!tree_.empty()) {
+    const LoserTree::Slot& top = tree_.winner();
+    if (!ref_key_eq(*top.data, (*top.refs)[top.idx], cur_data, cur_ref)) break;
+    values.push_back(top.data->value((*top.refs)[top.idx]));
+    tree_.pop_advance();
   }
   return true;
 }

@@ -1,6 +1,13 @@
 #include "mapreduce/merge.hpp"
 
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "util/rng.hpp"
 
 namespace bvl::mr {
 namespace {
@@ -139,6 +146,134 @@ TEST(GroupIterator, GroupsEqualKeysAcrossSegments) {
   ASSERT_TRUE(it.next(key, values));
   EXPECT_EQ(key, "c");
   EXPECT_FALSE(it.next(key, values));
+}
+
+// ---- Loser-tree differential suite -------------------------------
+//
+// The k-way merge is a loser tree; merge_runs_reference is a ~15-line
+// scalar linear-scan merge (smallest head key, lowest run index on
+// ties) retained purely as the semantic reference. Every test asserts
+// BYTE-identical merged output — same key bytes, same value bytes,
+// same record order — so the tree's tie handling is pinned to "stable
+// in run order", not merely "some sorted order".
+
+// Adversarial keys for the prefix-cached comparator: NULs, 0xFF,
+// shared 8-byte stems, lengths straddling the prefix boundary.
+std::string adversarial_key(Pcg32& rng) {
+  static const std::string stems[] = {"", "aaaaaaaa", "aaaaaaa", "zzzz", "\xff\xff\xff\xff"};
+  std::string k = stems[rng.uniform(0, 4)];
+  std::size_t len = rng.uniform(0, 10);
+  for (std::size_t i = 0; i < len; ++i) {
+    static const char alphabet[] = {'\0', 'a', 'b', '\x7f', '\xff'};
+    k += alphabet[rng.uniform(0, 4)];
+  }
+  return k;
+}
+
+void expect_byte_identical(const ArenaRun& got, const ArenaRun& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got.key(i), want.key(i)) << "key diverges at record " << i;
+    ASSERT_EQ(got.value(i), want.value(i)) << "value diverges at record " << i;
+  }
+}
+
+// Builds `k` sorted runs of random sizes (possibly zero) over
+// adversarial keys; values are globally unique so any tie-order slip
+// is visible.
+std::vector<ArenaRun> random_runs(Pcg32& rng, int k, int max_len) {
+  std::vector<ArenaRun> runs(static_cast<std::size_t>(k));
+  int serial = 0;
+  for (auto& run : runs) {
+    int len = static_cast<int>(rng.uniform(0, static_cast<std::uint32_t>(max_len)));
+    std::vector<std::pair<std::string, std::string>> recs;
+    recs.reserve(static_cast<std::size_t>(len));
+    for (int i = 0; i < len; ++i) recs.emplace_back(adversarial_key(rng), std::to_string(serial++));
+    std::stable_sort(recs.begin(), recs.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [key, value] : recs) run.refs.push_back(run.data.append(key, value));
+  }
+  return runs;
+}
+
+TEST(LoserTreeDifferential, RandomizedRunsMatchReferenceByteForByte) {
+  Pcg32 rng(2024);
+  for (int round = 0; round < 40; ++round) {
+    int k = static_cast<int>(rng.uniform(1, 12));
+    std::vector<ArenaRun> runs = random_runs(rng, k, 64);
+    ArenaRun want = merge_runs_reference(runs);
+    WorkCounters c;
+    ArenaRun got = merge_runs(std::move(runs), c);
+    ASSERT_NO_FATAL_FAILURE(expect_byte_identical(got, want)) << "round " << round << " k=" << k;
+    EXPECT_TRUE(is_sorted_run(got));
+  }
+}
+
+TEST(LoserTreeDifferential, DuplicateKeysKeepRunOrder) {
+  // Every run holds the same keys; values name their run, so the
+  // merged output must interleave strictly in run order per key.
+  std::vector<ArenaRun> runs(4);
+  for (int r = 0; r < 4; ++r) {
+    for (const char* key : {"dup", "dup", "tail"}) {
+      runs[static_cast<std::size_t>(r)].refs.push_back(
+          runs[static_cast<std::size_t>(r)].data.append(key, "run" + std::to_string(r)));
+    }
+  }
+  ArenaRun want = merge_runs_reference(runs);
+  WorkCounters c;
+  ArenaRun got = merge_runs(std::move(runs), c);
+  ASSERT_NO_FATAL_FAILURE(expect_byte_identical(got, want));
+  // Spot-check the stable order directly, independent of the reference.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(got.key(static_cast<std::size_t>(i)), "dup");
+    EXPECT_EQ(got.value(static_cast<std::size_t>(i)), "run" + std::to_string(i / 2));
+  }
+}
+
+TEST(LoserTreeDifferential, EmptyRunsAndSingleRunDegenerate) {
+  Pcg32 rng(77);
+  // k=1 plus interleaved empty runs: the tree must skip empties the
+  // way the reference's linear scan naturally does.
+  for (int k : {1, 2, 5}) {
+    std::vector<ArenaRun> runs = random_runs(rng, k, 16);
+    // Splice empty runs between the real ones.
+    std::vector<ArenaRun> with_empties;
+    for (auto& r : runs) {
+      with_empties.emplace_back();
+      with_empties.push_back(std::move(r));
+    }
+    with_empties.emplace_back();
+    ArenaRun want = merge_runs_reference(with_empties);
+    WorkCounters c;
+    ArenaRun got = merge_runs(std::move(with_empties), c);
+    ASSERT_NO_FATAL_FAILURE(expect_byte_identical(got, want)) << "k=" << k;
+  }
+}
+
+TEST(LoserTreeDifferential, GroupIteratorStreamsTheReferenceOrder) {
+  // The streaming reduce-side path must deliver exactly the reference
+  // merge's record sequence, batched by key.
+  Pcg32 rng(4242);
+  std::vector<ArenaRun> runs = random_runs(rng, 6, 48);
+  ArenaRun want = merge_runs_reference(runs);
+
+  std::vector<RunView> segments;
+  segments.reserve(runs.size());
+  for (const auto& r : runs) segments.push_back(view_of(r));
+  WorkCounters c;
+  GroupIterator it(segments, c);
+  std::string_view key;
+  std::vector<std::string_view> values;
+  std::size_t pos = 0;
+  while (it.next(key, values)) {
+    for (const auto& v : values) {
+      ASSERT_LT(pos, want.size());
+      EXPECT_EQ(key, want.key(pos)) << "at record " << pos;
+      EXPECT_EQ(v, want.value(pos)) << "at record " << pos;
+      ++pos;
+    }
+  }
+  EXPECT_EQ(pos, want.size());
 }
 
 TEST(GroupIterator, ChargesComparesLikeMergeRuns) {
