@@ -3,6 +3,7 @@
 // pre-registry bench binaries, and every paper-shape assertion green.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -62,13 +63,24 @@ TEST(FigureRegistry, EnumeratesAllTwentyOneFigures) {
 }
 
 TEST(Figures, TextByteIdenticalToGoldenAndShapeChecksPass) {
+  // BVL_UPDATE_GOLDEN=1 rewrites the committed fixtures instead of
+  // comparing — same convention as the trace and pricing goldens. Only
+  // for *intentional* model changes, never to silence a diff.
+  const bool update = std::getenv("BVL_UPDATE_GOLDEN") != nullptr;
   for (const auto& group : registry().groups()) {
     SCOPED_TRACE(group);
     report::Report rep = registry().build(group, shared_context());
     EXPECT_EQ(rep.id, group);
-    std::string golden = read_golden(group);
-    ASSERT_FALSE(golden.empty()) << "missing golden for " << group;
-    EXPECT_EQ(report::render_text(rep), golden);
+    if (update) {
+      std::ofstream out(std::string(BVL_FIGURE_GOLDEN_DIR) + "/" + group + ".txt",
+                        std::ios::binary);
+      ASSERT_TRUE(out.good()) << "cannot write golden for " << group;
+      out << report::render_text(rep);
+    } else {
+      std::string golden = read_golden(group);
+      ASSERT_FALSE(golden.empty()) << "missing golden for " << group;
+      EXPECT_EQ(report::render_text(rep), golden);
+    }
     EXPECT_FALSE(rep.checks.empty()) << group << " pins no shape assertions";
     for (const auto& c : rep.checks)
       EXPECT_TRUE(c.passed) << group << "/" << c.name << ": " << c.detail;
