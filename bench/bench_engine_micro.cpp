@@ -136,6 +136,32 @@ void BM_CacheSimAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheSimAccess);
 
+// Same cache and address distribution as BM_CacheSimAccess, fed in
+// 4096-address blocks through the batched path; ns/op is per access.
+void BM_CacheSimBatch(benchmark::State& state) {
+  arch::CacheLevelConfig cfg{.name = "L2",
+                             .capacity = 256 * KB,
+                             .associativity = 8,
+                             .line_bytes = 64,
+                             .hit_cycles = 12,
+                             .sharer_group = 1};
+  arch::CacheSim sim(cfg);
+  Pcg32 rng(42);
+  constexpr std::size_t kBlock = 4096;
+  std::vector<std::uint64_t> addrs(kBlock);
+  std::int64_t accesses = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (auto& a : addrs) a = rng.uniform(0, 4 * MB);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sim.access_batch(addrs.data(), addrs.size()));
+    accesses += static_cast<std::int64_t>(kBlock);
+  }
+  state.SetItemsProcessed(accesses);
+  state.SetLabel("4096-address blocks");
+}
+BENCHMARK(BM_CacheSimBatch);
+
 void BM_PriceTrace(benchmark::State& state) {
   auto def = wl::make_workload(wl::WorkloadId::kWordCount);
   mr::Engine engine;

@@ -12,6 +12,7 @@
 //     memory stall, so its gap to Xeon widens with working set.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "arch/cache.hpp"
@@ -56,6 +57,24 @@ class CoreModel {
   /// per-task working set of `ws_bytes` and `active_cores` busy cores
   /// competing for shared cache.
   CpiBreakdown cpi(const Signature& sig, double ws_bytes, Hertz freq, int active_cores = 1) const;
+
+  /// One pricing point for the batched CPI evaluation.
+  struct CpiPoint {
+    const Signature* sig = nullptr;
+    double ws_bytes = 0;
+    Hertz freq = 0;
+    int active_cores = 1;
+  };
+
+  /// Evaluates `n` points in one pass, writing `out[i] = cpi(pts[i])`.
+  /// The signature-only terms (issue-limited CPI, branch CPI, the
+  /// visible-stall fraction) are hoisted and reused while consecutive
+  /// points share a `sig` pointer, so sweeps over (ws, freq, cores)
+  /// with a fixed signature skip the per-point recomputation. Results
+  /// are bit-identical to the scalar cpi() — the differential test in
+  /// tests/arch/test_core_model.cpp pins every breakdown field with
+  /// exact equality.
+  void cpi_batch(const CpiPoint* pts, std::size_t n, CpiBreakdown* out) const;
 
   /// Instructions per cycle (1 / total CPI).
   double ipc(const Signature& sig, double ws_bytes, Hertz freq, int active_cores = 1) const;

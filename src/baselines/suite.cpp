@@ -30,12 +30,20 @@ SuiteResult run_suite(const std::string& suite_name, const std::vector<ProxyKern
   arch::CoreModel core = server.make_core_model();
   power::PowerModel power(server);
 
-  for (const auto& k : suite) {
+  // Price the whole suite in one batched CPI evaluation.
+  std::vector<arch::CoreModel::CpiPoint> pts;
+  pts.reserve(suite.size());
+  for (const auto& k : suite) pts.push_back({&k.sig, k.ws_bytes, freq, 1});
+  std::vector<arch::CpiBreakdown> cpis(suite.size());
+  core.cpi_batch(pts.data(), pts.size(), cpis.data());
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& k = suite[i];
     (void)k.kernel();  // execute the real kernel once
 
     KernelResult r;
     r.kernel = k.name;
-    arch::CpiBreakdown cpi = core.cpi(k.sig, k.ws_bytes, freq, 1);
+    const arch::CpiBreakdown& cpi = cpis[i];
     r.ipc = cpi.ipc();
     r.time = k.instructions * cpi.total() / freq;
 

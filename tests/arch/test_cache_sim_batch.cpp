@@ -1,0 +1,175 @@
+// Differential suite for the batched cache simulator: every test
+// replays one address stream through the reference single-access path
+// (CacheSim::access, one call per address) and through access_batch in
+// arbitrary chunk sizes, then asserts EXACT equality of the per-level
+// hit/miss counters and of future behaviour (the final LRU state must
+// agree, which the trailing probe stream witnesses). Batching must
+// change the loop shape, not one replacement decision.
+#include "arch/cache_sim.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace bvl::arch {
+namespace {
+
+CacheLevelConfig cache_cfg(Bytes capacity, int assoc, int line = 64) {
+  CacheLevelConfig cfg;
+  cfg.name = "sim";
+  cfg.capacity = capacity;
+  cfg.associativity = assoc;
+  cfg.line_bytes = line;
+  cfg.hit_cycles = 4;
+  cfg.sharer_group = 1;
+  return cfg;
+}
+
+/// Mixed access pattern: uniform noise, a hot strided loop, and
+/// bursts of repeats — enough conflict and reuse to exercise hits,
+/// invalid-way fills, and LRU evictions in every set.
+std::vector<std::uint64_t> mixed_stream(Pcg32& rng, std::size_t n, std::uint64_t span) {
+  std::vector<std::uint64_t> addrs;
+  addrs.reserve(n);
+  std::uint64_t stride_pos = 0;
+  while (addrs.size() < n) {
+    switch (rng.uniform(0, 2)) {
+      case 0:
+        addrs.push_back(rng.uniform(0, span));
+        break;
+      case 1:
+        stride_pos = (stride_pos + 64) % (span / 4);
+        addrs.push_back(stride_pos);
+        break;
+      default: {
+        std::uint64_t hot = rng.uniform(0, span / 16);
+        for (int r = 0; r < 4 && addrs.size() < n; ++r) addrs.push_back(hot + 8 * r);
+        break;
+      }
+    }
+  }
+  return addrs;
+}
+
+void expect_same_counters(const CacheSim& got, const CacheSim& want) {
+  EXPECT_EQ(got.accesses(), want.accesses());
+  EXPECT_EQ(got.misses(), want.misses());
+}
+
+TEST(CacheSimBatch, MatchesReferenceExactlyAcrossConfigs) {
+  Pcg32 rng(9);
+  struct {
+    Bytes capacity;
+    int assoc;
+  } configs[] = {
+      {8 * KB, 1},    // direct-mapped
+      {8 * KB, 2},
+      {32 * KB, 8},
+      {4 * KB, 64},   // fully associative (64 lines)
+      {48 * KB, 12},  // non-power-of-two sets and ways
+  };
+  for (const auto& cfg : configs) {
+    std::vector<std::uint64_t> addrs = mixed_stream(rng, 20000, 256 * KB);
+    CacheSim ref(cache_cfg(cfg.capacity, cfg.assoc));
+    CacheSim batched(cache_cfg(cfg.capacity, cfg.assoc));
+    for (std::uint64_t a : addrs) ref.access(a);
+    // Replay in randomized chunk sizes, including 1-element chunks.
+    std::size_t pos = 0;
+    while (pos < addrs.size()) {
+      std::size_t chunk = static_cast<std::size_t>(rng.uniform(1, 257));
+      chunk = std::min(chunk, addrs.size() - pos);
+      batched.access_batch(addrs.data() + pos, chunk);
+      pos += chunk;
+    }
+    expect_same_counters(batched, ref);
+
+    // The final LRU state must agree too: a fresh probe stream must
+    // hit/miss identically access by access.
+    std::vector<std::uint64_t> probe = mixed_stream(rng, 2000, 256 * KB);
+    for (std::uint64_t a : probe) {
+      EXPECT_EQ(batched.access(a), ref.access(a)) << "post-batch state diverged";
+    }
+  }
+}
+
+TEST(CacheSimBatch, ReportsMissedAddressesInOrder) {
+  Pcg32 rng(123);
+  std::vector<std::uint64_t> addrs = mixed_stream(rng, 5000, 128 * KB);
+  CacheSim ref(cache_cfg(16 * KB, 4));
+  std::vector<std::uint64_t> want_missed;
+  for (std::uint64_t a : addrs) {
+    if (!ref.access(a)) want_missed.push_back(a);
+  }
+  CacheSim batched(cache_cfg(16 * KB, 4));
+  std::vector<std::uint64_t> got_missed(addrs.size());
+  std::size_t misses = batched.access_batch(addrs.data(), addrs.size(), got_missed.data());
+  got_missed.resize(misses);
+  EXPECT_EQ(got_missed, want_missed);
+}
+
+TEST(CacheSimBatch, EmptyBatchIsANoOp) {
+  CacheSim sim(cache_cfg(8 * KB, 2));
+  EXPECT_EQ(sim.access_batch(nullptr, 0), 0u);
+  EXPECT_EQ(sim.accesses(), 0u);
+  EXPECT_EQ(sim.misses(), 0u);
+}
+
+TEST(CacheSimBatch, InterleavingScalarAndBatchKeepsOneTimeline) {
+  // Scalar and batched calls on the same simulator share clock and
+  // state: any interleaving equals the all-scalar replay.
+  Pcg32 rng(55);
+  std::vector<std::uint64_t> addrs = mixed_stream(rng, 8000, 64 * KB);
+  CacheSim ref(cache_cfg(8 * KB, 4));
+  for (std::uint64_t a : addrs) ref.access(a);
+  CacheSim mixed(cache_cfg(8 * KB, 4));
+  std::size_t pos = 0;
+  bool scalar = false;
+  while (pos < addrs.size()) {
+    if (scalar) {
+      mixed.access(addrs[pos]);
+      ++pos;
+    } else {
+      std::size_t chunk = std::min<std::size_t>(rng.uniform(1, 100), addrs.size() - pos);
+      mixed.access_batch(addrs.data() + pos, chunk);
+      pos += chunk;
+    }
+    scalar = !scalar;
+  }
+  expect_same_counters(mixed, ref);
+}
+
+TEST(HierarchySimBatch, PerLevelCountersMatchScalarWalk) {
+  Pcg32 rng(31);
+  std::vector<CacheLevelConfig> levels = {cache_cfg(4 * KB, 2), cache_cfg(32 * KB, 8),
+                                          cache_cfg(256 * KB, 16)};
+  std::vector<std::uint64_t> addrs = mixed_stream(rng, 30000, 1 * MB);
+
+  HierarchySim ref(levels);
+  std::size_t ref_mem = 0;
+  for (std::uint64_t a : addrs) {
+    if (ref.access(a) == ref.depth()) ++ref_mem;
+  }
+
+  HierarchySim batched(levels);
+  std::size_t got_mem = 0;
+  std::size_t pos = 0;
+  while (pos < addrs.size()) {
+    std::size_t chunk = std::min<std::size_t>(rng.uniform(1, 1024), addrs.size() - pos);
+    got_mem += batched.access_batch(addrs.data() + pos, chunk);
+    pos += chunk;
+  }
+
+  EXPECT_EQ(got_mem, ref_mem);
+  for (std::size_t i = 0; i < ref.depth(); ++i) {
+    EXPECT_EQ(batched.level(i).accesses(), ref.level(i).accesses()) << "level " << i;
+    EXPECT_EQ(batched.level(i).misses(), ref.level(i).misses()) << "level " << i;
+    EXPECT_DOUBLE_EQ(batched.global_miss_ratio(i), ref.global_miss_ratio(i)) << "level " << i;
+  }
+}
+
+}  // namespace
+}  // namespace bvl::arch

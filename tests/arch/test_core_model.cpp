@@ -1,5 +1,7 @@
 #include "arch/core_model.hpp"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "arch/server_config.hpp"
@@ -117,6 +119,53 @@ TEST_P(CoreModelSweep, IpcMonotoneInWorkingSet) {
 INSTANTIATE_TEST_SUITE_P(FreqAndOccupancy, CoreModelSweep,
                          ::testing::Combine(::testing::Values(1.2, 1.4, 1.6, 1.8),
                                             ::testing::Values(1, 4, 8)));
+
+// Differential: the batched CPI evaluation (signature terms hoisted
+// across a sweep) must reproduce the scalar cpi() bit for bit on
+// every field, across mixed signatures, working sets, frequencies and
+// occupancies — including signature changes mid-batch, which force a
+// re-hoist.
+TEST(CpiBatch, BitIdenticalToScalarAcrossMixedSweep) {
+  Signature sigs[] = {hadoop_like(), spec_like()};
+  for (const ServerConfig& cfg : paper_servers()) {
+    CoreModel m = cfg.make_core_model();
+    std::vector<CoreModel::CpiPoint> pts;
+    for (const Signature& sig : sigs) {
+      for (double ws : {64e3, 1e6, 8e6, 64e6, 512e6}) {
+        for (double f : {1.2, 1.4, 1.6, 1.8}) {
+          for (int active : {1, 4, 8}) pts.push_back({&sig, ws, f * GHz, active});
+        }
+      }
+    }
+    // Interleave the two signatures at the tail so the batch has to
+    // re-hoist per point, not only per block.
+    pts.push_back({&sigs[0], 2e6, 1.8 * GHz, 2});
+    pts.push_back({&sigs[1], 2e6, 1.8 * GHz, 2});
+    pts.push_back({&sigs[0], 2e6, 1.8 * GHz, 2});
+
+    std::vector<CpiBreakdown> out(pts.size());
+    m.cpi_batch(pts.data(), pts.size(), out.data());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      CpiBreakdown want = m.cpi(*pts[i].sig, pts[i].ws_bytes, pts[i].freq, pts[i].active_cores);
+      EXPECT_EQ(out[i].core, want.core) << cfg.name << " point " << i;
+      EXPECT_EQ(out[i].branch, want.branch) << cfg.name << " point " << i;
+      EXPECT_EQ(out[i].cache, want.cache) << cfg.name << " point " << i;
+      EXPECT_EQ(out[i].dram, want.dram) << cfg.name << " point " << i;
+    }
+  }
+}
+
+TEST(CpiBatch, RejectsNullSignatureAndBadPoints) {
+  CoreModel m = xeon_e5_2420().make_core_model();
+  Signature sig = hadoop_like();
+  CpiBreakdown out;
+  CoreModel::CpiPoint null_sig{nullptr, 1e6, 1.8 * GHz, 1};
+  EXPECT_THROW(m.cpi_batch(&null_sig, 1, &out), Error);
+  CoreModel::CpiPoint bad_ws{&sig, 0.0, 1.8 * GHz, 1};
+  EXPECT_THROW(m.cpi_batch(&bad_ws, 1, &out), Error);
+  CoreModel::CpiPoint bad_freq{&sig, 1e6, 0.0, 1};
+  EXPECT_THROW(m.cpi_batch(&bad_freq, 1, &out), Error);
+}
 
 }  // namespace
 }  // namespace bvl::arch
