@@ -36,42 +36,61 @@ inline void print_shared_flag_help(const char* prog) {
   std::printf("                tables are bit-identical at any width.\n");
   std::printf("  --json PATH   write machine-readable results to PATH\n");
   std::printf("                (benches that keep a BENCH_*.json ledger)\n");
+  std::printf("  --cache-dir D persist characterized traces under D and\n");
+  std::printf("                reuse them across runs/processes (created\n");
+  std::printf("                if absent; results are bit-identical with\n");
+  std::printf("                or without the cache)\n");
   std::printf("  --help        this message\n");
 }
 
 /// Parses the flags shared by every bench and applies them to the
 /// shared characterizer:
-///   --threads N | --threads=N   engine executor width per job
-///   --help                      print the shared flags and exit
+///   --threads N | --threads=N       engine executor width per job
+///   --cache-dir D | --cache-dir=D   persistent trace cache directory
+///   --help                          print the shared flags and exit
 /// Malformed --threads values are rejected with an error (exit 2)
-/// instead of atoi's silent 0. Unknown arguments are left alone so
-/// benches can layer their own flags (e.g. --json).
+/// instead of atoi's silent 0; so is a valueless --cache-dir. Unknown
+/// arguments are left alone so benches can layer their own flags
+/// (e.g. --json).
 inline void init(int argc, char** argv) {
-  auto reject = [&](const std::string& value) {
-    std::fprintf(stderr, "%s: invalid --threads value '%s' (expected a non-negative integer)\n",
-                 argv[0], value.c_str());
+  auto reject = [&](const char* flag, const char* expected, const std::string& value) {
+    std::fprintf(stderr, "%s: invalid %s value '%s' (expected %s)\n", argv[0], flag,
+                 value.c_str(), expected);
     std::exit(2);
   };
+  // Pulls the flag's value out of argv, consuming the next entry for
+  // the bare `--flag VALUE` form; exits 2 when the value is missing.
+  auto flag_value = [&](int& i, const char* flag, const char* expected,
+                        FlagMatch m) -> std::string_view {
+    if (m == FlagMatch::kNeedsValue) {
+      if (i + 1 >= argc) reject(flag, expected, "<missing>");
+      return argv[++i];
+    }
+    std::string_view inline_value;
+    match_flag(argv[i], flag, &inline_value);
+    return inline_value;
+  };
   int threads = 0;
+  std::string cache_dir;
   for (int i = 1; i < argc; ++i) {
-    std::string a = argv[i];
-    std::string value;
+    std::string_view a = argv[i];
     if (a == "--help" || a == "-h") {
       print_shared_flag_help(argv[0]);
       std::exit(0);
-    } else if (a == "--threads") {
-      if (i + 1 >= argc) reject("<missing>");
-      value = argv[++i];
-    } else if (a.rfind("--threads=", 0) == 0) {
-      value = a.substr(10);
-    } else {
-      continue;
     }
-    auto parsed = parse_non_negative_int(value);
-    if (!parsed) reject(value);
-    threads = *parsed;
+    if (FlagMatch m = match_flag(a, "--threads", nullptr); m != FlagMatch::kNoMatch) {
+      std::string_view value = flag_value(i, "--threads", "a non-negative integer", m);
+      auto parsed = parse_non_negative_int(value);
+      if (!parsed) reject("--threads", "a non-negative integer", std::string(value));
+      threads = *parsed;
+    } else if (FlagMatch m2 = match_flag(a, "--cache-dir", nullptr); m2 != FlagMatch::kNoMatch) {
+      std::string_view value = flag_value(i, "--cache-dir", "a directory path", m2);
+      if (value.empty()) reject("--cache-dir", "a directory path", std::string(value));
+      cache_dir = value;
+    }
   }
   characterizer().set_exec_threads(threads);
+  if (!cache_dir.empty()) characterizer().set_cache_dir(cache_dir);
 }
 
 inline std::vector<Bytes> micro_block_sweep() {

@@ -74,6 +74,8 @@ int main(int argc, char** argv) {
     } else if (a.rfind("--csv=", 0) == 0) csv_dir = a.substr(6);
     else if (a == "--threads" || a.rfind("--threads=", 0) == 0) {
       if (a == "--threads") ++i;  // value consumed by bench::init below
+    } else if (a == "--cache-dir" || a.rfind("--cache-dir=", 0) == 0) {
+      if (a == "--cache-dir") ++i;  // value consumed by bench::init below
     } else {
       std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", argv[0], a.c_str());
       return 2;

@@ -1,0 +1,328 @@
+#include "core/char_cache.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace bvl::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'V', 'L', 'T', 'R', 'A', 'C', 'E'};
+
+std::uint64_t fnv1a64(const char* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// ---- endian-stable writers (explicit little-endian byte order) ----
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_i32(std::string& out, std::int32_t v) { put_u32(out, static_cast<std::uint32_t>(v)); }
+
+void put_u8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v, "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+// ---- bounds-checked readers: every get_* fails soft via ok_ ----
+
+class Reader {
+ public:
+  Reader(const char* data, std::size_t n) : data_(data), n_(n) {}
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return ok_ && off_ == n_; }
+  std::size_t remaining() const { return n_ - off_; }
+
+  std::uint32_t get_u32() {
+    std::uint32_t v = 0;
+    if (!take(4)) return 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[off_ - 4 + i])) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    std::uint64_t v = 0;
+    if (!take(8)) return 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[off_ - 8 + i])) << (8 * i);
+    return v;
+  }
+
+  std::int32_t get_i32() { return static_cast<std::int32_t>(get_u32()); }
+
+  std::uint8_t get_u8() {
+    if (!take(1)) return 0;
+    return static_cast<std::uint8_t>(data_[off_ - 1]);
+  }
+
+  double get_f64() {
+    std::uint64_t bits = get_u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  std::string get_str() {
+    std::uint32_t len = get_u32();
+    if (len > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    if (!take(len)) return {};
+    return std::string(data_ + off_ - len, len);
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || n > n_ - off_) {
+      ok_ = false;
+      return false;
+    }
+    off_ += n;
+    return true;
+  }
+
+  const char* data_;
+  std::size_t n_;
+  std::size_t off_ = 0;
+  bool ok_ = true;
+};
+
+// ---- JobTrace payload (field order is the format; version-gated) ----
+
+void put_counters(std::string& out, const mr::WorkCounters& c) {
+  put_f64(out, c.input_records);
+  put_f64(out, c.input_bytes);
+  put_f64(out, c.output_records);
+  put_f64(out, c.output_bytes);
+  put_f64(out, c.emits);
+  put_f64(out, c.emit_bytes);
+  put_f64(out, c.compares);
+  put_f64(out, c.hash_ops);
+  put_f64(out, c.token_ops);
+  put_f64(out, c.compute_units);
+  put_f64(out, c.spills);
+  put_f64(out, c.spill_bytes);
+  put_f64(out, c.merge_read_bytes);
+  put_f64(out, c.disk_read_bytes);
+  put_f64(out, c.disk_write_bytes);
+  put_f64(out, c.disk_seeks);
+  put_f64(out, c.shuffle_bytes);
+  put_f64(out, c.arena_bytes);
+  put_f64(out, c.peak_run_bytes);
+}
+
+mr::WorkCounters get_counters(Reader& r) {
+  mr::WorkCounters c;
+  c.input_records = r.get_f64();
+  c.input_bytes = r.get_f64();
+  c.output_records = r.get_f64();
+  c.output_bytes = r.get_f64();
+  c.emits = r.get_f64();
+  c.emit_bytes = r.get_f64();
+  c.compares = r.get_f64();
+  c.hash_ops = r.get_f64();
+  c.token_ops = r.get_f64();
+  c.compute_units = r.get_f64();
+  c.spills = r.get_f64();
+  c.spill_bytes = r.get_f64();
+  c.merge_read_bytes = r.get_f64();
+  c.disk_read_bytes = r.get_f64();
+  c.disk_write_bytes = r.get_f64();
+  c.disk_seeks = r.get_f64();
+  c.shuffle_bytes = r.get_f64();
+  c.arena_bytes = r.get_f64();
+  c.peak_run_bytes = r.get_f64();
+  return c;
+}
+
+void put_task(std::string& out, const mr::TaskTrace& t) {
+  put_counters(out, t.counters);
+  put_u64(out, t.logical_bytes);
+  put_i32(out, t.attempts);
+  put_u8(out, t.speculated ? 1 : 0);
+  put_counters(out, t.wasted);
+  put_f64(out, t.backoff_s);
+  put_f64(out, t.time_factor);
+}
+
+mr::TaskTrace get_task(Reader& r) {
+  mr::TaskTrace t;
+  t.counters = get_counters(r);
+  t.logical_bytes = r.get_u64();
+  t.attempts = r.get_i32();
+  t.speculated = r.get_u8() != 0;
+  t.wasted = get_counters(r);
+  t.backoff_s = r.get_f64();
+  t.time_factor = r.get_f64();
+  return t;
+}
+
+// Minimum serialized size of one TaskTrace: bounds task counts read
+// from the header so a corrupt count can never trigger a huge
+// allocation before the payload runs out.
+constexpr std::size_t kMinTaskBytes = 19 * 8 + 8 + 4 + 1 + 19 * 8 + 8 + 8;
+
+std::string serialize_trace(const mr::JobTrace& t) {
+  std::string out;
+  put_str(out, t.workload);
+  // JobConfig, FaultPlan excluded: the plan is an input, its effects
+  // are already in the task fields, and its cache_key is part of the
+  // entry key — the characterizer reattaches the spec's plan on load.
+  put_u64(out, t.config.input_size);
+  put_u64(out, t.config.block_size);
+  put_i32(out, t.config.num_reducers);
+  put_u64(out, t.config.spill_buffer);
+  put_u8(out, t.config.use_combiner ? 1 : 0);
+  put_u8(out, t.config.compress_map_output ? 1 : 0);
+  put_f64(out, t.config.compression_ratio);
+  put_f64(out, t.config.sim_scale);
+  put_i32(out, t.config.exec_threads);
+  put_u64(out, t.config.seed);
+  put_u8(out, t.combiner_saturated ? 1 : 0);
+  put_i32(out, t.exec_threads_used);
+  put_counters(out, t.setup);
+  put_counters(out, t.cleanup);
+  put_u32(out, static_cast<std::uint32_t>(t.map_tasks.size()));
+  for (const auto& task : t.map_tasks) put_task(out, task);
+  put_u32(out, static_cast<std::uint32_t>(t.reduce_tasks.size()));
+  for (const auto& task : t.reduce_tasks) put_task(out, task);
+  return out;
+}
+
+std::optional<mr::JobTrace> parse_trace(const char* data, std::size_t n) {
+  Reader r(data, n);
+  mr::JobTrace t;
+  t.workload = r.get_str();
+  t.config.input_size = r.get_u64();
+  t.config.block_size = r.get_u64();
+  t.config.num_reducers = r.get_i32();
+  t.config.spill_buffer = r.get_u64();
+  t.config.use_combiner = r.get_u8() != 0;
+  t.config.compress_map_output = r.get_u8() != 0;
+  t.config.compression_ratio = r.get_f64();
+  t.config.sim_scale = r.get_f64();
+  t.config.exec_threads = r.get_i32();
+  t.config.seed = r.get_u64();
+  t.combiner_saturated = r.get_u8() != 0;
+  t.exec_threads_used = r.get_i32();
+  t.setup = get_counters(r);
+  t.cleanup = get_counters(r);
+  for (auto* tasks : {&t.map_tasks, &t.reduce_tasks}) {
+    std::uint32_t count = r.get_u32();
+    if (!r.ok() || static_cast<std::size_t>(count) * kMinTaskBytes > r.remaining()) return {};
+    tasks->reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) tasks->push_back(get_task(r));
+  }
+  // Exactly the payload, nothing more: trailing garbage is corruption.
+  if (!r.exhausted()) return {};
+  return t;
+}
+
+}  // namespace
+
+CharCache::CharCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string CharCache::path_for(const std::string& key) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.bvlt",
+                static_cast<unsigned long long>(fnv1a64(key.data(), key.size())));
+  return dir_ + "/" + name;
+}
+
+std::optional<mr::JobTrace> CharCache::load(const std::string& key) const {
+  try {
+    std::ifstream in(path_for(key), std::ios::binary);
+    if (!in.good()) return {};
+    std::string file((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof()) return {};
+
+    Reader header(file.data(), file.size());
+    char magic[sizeof kMagic];
+    for (char& c : magic) c = static_cast<char>(header.get_u8());
+    if (!header.ok() || std::memcmp(magic, kMagic, sizeof kMagic) != 0) return {};
+    if (header.get_u32() != kFormatVersion) return {};
+    if (header.get_str() != key) return {};  // filename-hash collision or reused dir
+    std::uint64_t payload_size = header.get_u64();
+    std::uint64_t checksum = header.get_u64();
+    if (!header.ok() || payload_size != header.remaining()) return {};
+    const char* payload = file.data() + (file.size() - header.remaining());
+    if (fnv1a64(payload, static_cast<std::size_t>(payload_size)) != checksum) return {};
+    return parse_trace(payload, static_cast<std::size_t>(payload_size));
+  } catch (...) {
+    return {};  // corrupt caches degrade to re-characterization, never crash
+  }
+}
+
+bool CharCache::store(const std::string& key, const mr::JobTrace& trace) const {
+  try {
+    std::string payload = serialize_trace(trace);
+    std::string file;
+    file.reserve(payload.size() + key.size() + 64);
+    file.append(kMagic, sizeof kMagic);
+    put_u32(file, kFormatVersion);
+    put_str(file, key);
+    put_u64(file, payload.size());
+    put_u64(file, fnv1a64(payload.data(), payload.size()));
+    file.append(payload);
+
+    // Unique temp name per writer (pid alone is not enough: the
+    // characterizer's callers store from worker threads of the same
+    // process), then atomic rename — a reader sees the old file, the
+    // new file, or nothing; never a prefix.
+    static std::atomic<std::uint64_t> counter{0};
+    std::string path = path_for(key);
+    std::uint64_t tid =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) ^ counter.fetch_add(1);
+    char suffix[40];
+    std::snprintf(suffix, sizeof suffix, ".tmp.%016llx", static_cast<unsigned long long>(tid));
+    std::string tmp = path + suffix;
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out.good()) return false;
+      out.write(file.data(), static_cast<std::streamsize>(file.size()));
+      out.flush();
+      if (!out.good()) {
+        out.close();
+        std::remove(tmp.c_str());
+        return false;
+      }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace bvl::core

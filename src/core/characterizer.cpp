@@ -1,6 +1,8 @@
 #include "core/characterizer.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 
 #include "util/error.hpp"
 
@@ -17,12 +19,53 @@ Characterizer::Key Characterizer::key_of(const RunSpec& spec) const {
           spec.use_combiner, spec.fault.active() ? spec.fault.cache_key() : 0};
 }
 
+std::string Characterizer::disk_key(const RunSpec& spec) const {
+  // Mirrors key_of field for field, plus the engine salt (execution
+  // target, seed) the in-memory key can leave implicit because it
+  // never outlives the instance. Human-readable on purpose: the string
+  // is embedded verbatim in the cache file as the collision guard.
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "wl=%d in=%llu blk=%llu red=%d comb=%d fault=%llu target=%llu seed=%llu",
+                static_cast<int>(spec.workload),
+                static_cast<unsigned long long>(spec.input_size),
+                static_cast<unsigned long long>(spec.block_size), spec.num_reducers,
+                spec.use_combiner ? 1 : 0,
+                static_cast<unsigned long long>(spec.fault.active() ? spec.fault.cache_key() : 0),
+                static_cast<unsigned long long>(target_exec_),
+                static_cast<unsigned long long>(seed_));
+  return buf;
+}
+
+void Characterizer::set_cache_dir(const std::string& dir) {
+  if (dir.empty()) {
+    disk_.reset();
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // failure degrades to a miss-only cache
+  disk_ = std::make_unique<CharCache>(dir);
+}
+
 const mr::JobTrace& Characterizer::trace(const RunSpec& spec) {
   Key k = key_of(spec);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(k);
     if (it != cache_.end()) return it->second;
+  }
+
+  std::string dkey;
+  if (disk_) {
+    dkey = disk_key(spec);
+    if (auto cached = disk_->load(dkey)) {
+      // The serialized form excludes the FaultPlan (an input, not an
+      // output); reattach the spec's so the cached trace's config is
+      // indistinguishable from a fresh characterization's.
+      cached->config.fault = spec.fault;
+      std::lock_guard<std::mutex> lock(mu_);
+      return cache_.emplace(k, std::move(*cached)).first->second;
+    }
   }
 
   // Characterize outside the lock so distinct specs run in parallel.
@@ -38,6 +81,10 @@ const mr::JobTrace& Characterizer::trace(const RunSpec& spec) {
   cfg.exec_threads = exec_threads_;
   cfg.fault = spec.fault;
   mr::JobTrace t = engine_.run(*def, cfg);
+
+  // Best-effort publish for future processes; failure just means the
+  // next run re-characterizes.
+  if (disk_) disk_->store(dkey, t);
 
   // Two threads racing on the same key computed identical traces
   // (engine determinism); keep whichever landed first. std::map node

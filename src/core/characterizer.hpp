@@ -8,9 +8,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <tuple>
 
 #include "arch/server_config.hpp"
+#include "core/char_cache.hpp"
 #include "mapreduce/engine.hpp"
 #include "perf/perf_model.hpp"
 #include "perf/pricer.hpp"
@@ -81,12 +83,26 @@ class Characterizer {
   void set_exec_threads(int n) { exec_threads_ = n; }
   int exec_threads() const { return exec_threads_; }
 
+  /// Attaches a persistent on-disk trace cache rooted at `dir`
+  /// (created if absent; empty string detaches). trace() then consults
+  /// the disk between the in-memory miss and the engine run and stores
+  /// fresh characterizations back, so repeated runs — and concurrent
+  /// processes sharing the directory — skip the engine entirely. Disk
+  /// entries are keyed by everything that can change trace contents
+  /// (spec engine fields, fault cache_key, execution target, seed);
+  /// corrupt or mismatched files silently fall back to
+  /// re-characterization (see char_cache.hpp). Like set_exec_threads,
+  /// a setup-time call: not synchronized against in-flight trace().
+  void set_cache_dir(const std::string& dir);
+  std::string cache_dir() const { return disk_ ? disk_->dir() : std::string(); }
+
   const hdfs::DfsConfig& dfs() const { return dfs_; }
   const perf::ClusterConfig& cluster_config() const { return cluster_; }
 
  private:
   using Key = std::tuple<int, Bytes, Bytes, int, bool, std::uint64_t>;
   Key key_of(const RunSpec& spec) const;
+  std::string disk_key(const RunSpec& spec) const;
 
   hdfs::DfsConfig dfs_;
   perf::ClusterConfig cluster_;
@@ -94,6 +110,7 @@ class Characterizer {
   std::uint64_t seed_;
   int exec_threads_ = 0;
   mr::Engine engine_;
+  std::unique_ptr<CharCache> disk_;  ///< optional persistent trace cache
   std::mutex mu_;  ///< guards cache_ and pricers_ (node refs stay stable)
   std::map<Key, mr::JobTrace> cache_;
   /// Pricer cache keyed by (server name, pricer kind): the same server

@@ -49,6 +49,16 @@ std::optional<int> parse_non_negative_int(std::string_view s) {
   return static_cast<int>(value);
 }
 
+FlagMatch match_flag(std::string_view arg, std::string_view flag, std::string_view* value) {
+  if (arg == flag) return FlagMatch::kNeedsValue;
+  if (arg.size() > flag.size() && arg.substr(0, flag.size()) == flag &&
+      arg[flag.size()] == '=') {
+    if (value != nullptr) *value = arg.substr(flag.size() + 1);
+    return FlagMatch::kInlineValue;
+  }
+  return FlagMatch::kNoMatch;
+}
+
 std::string join(const std::vector<std::string>& parts, std::string_view sep) {
   std::string out;
   for (std::size_t i = 0; i < parts.size(); ++i) {

@@ -40,4 +40,17 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep);
 /// overflow — nullopt instead of atoi's silent 0.
 std::optional<int> parse_non_negative_int(std::string_view s);
 
+/// How one argv entry relates to a `--flag VALUE` / `--flag=VALUE`
+/// option (the convention every bench binary follows).
+enum class FlagMatch {
+  kNoMatch,      ///< not this flag (including `--flagsuffix` variants)
+  kNeedsValue,   ///< bare `--flag`: the value is the NEXT argv entry
+  kInlineValue,  ///< `--flag=VALUE`: `*value` holds VALUE (may be empty)
+};
+
+/// Matches `arg` against `flag` (e.g. "--cache-dir"). On kInlineValue
+/// the view after '=' is written to `*value` when `value` is non-null;
+/// otherwise `*value` is left untouched.
+FlagMatch match_flag(std::string_view arg, std::string_view flag, std::string_view* value);
+
 }  // namespace bvl

@@ -73,5 +73,35 @@ TEST(ParseNonNegativeInt, RejectsOverflow) {
   EXPECT_FALSE(parse_non_negative_int("99999999999999999999").has_value());
 }
 
+TEST(MatchFlag, BareFormNeedsTheNextArg) {
+  EXPECT_EQ(match_flag("--cache-dir", "--cache-dir", nullptr), FlagMatch::kNeedsValue);
+  EXPECT_EQ(match_flag("--threads", "--threads", nullptr), FlagMatch::kNeedsValue);
+}
+
+TEST(MatchFlag, InlineFormYieldsTheValue) {
+  std::string_view v;
+  EXPECT_EQ(match_flag("--cache-dir=/tmp/c", "--cache-dir", &v), FlagMatch::kInlineValue);
+  EXPECT_EQ(v, "/tmp/c");
+  // An empty inline value still matches — the caller decides whether
+  // "" is acceptable (bench::init rejects it for --cache-dir).
+  EXPECT_EQ(match_flag("--cache-dir=", "--cache-dir", &v), FlagMatch::kInlineValue);
+  EXPECT_EQ(v, "");
+  // Values containing '=' are split only at the first one.
+  EXPECT_EQ(match_flag("--json=a=b", "--json", &v), FlagMatch::kInlineValue);
+  EXPECT_EQ(v, "a=b");
+}
+
+TEST(MatchFlag, PrefixesAndStrangersDoNotMatch) {
+  // `--cache-dirx` must stay an unknown flag (exit 2 in the strict
+  // binaries), not a sloppy match.
+  EXPECT_EQ(match_flag("--cache-dirx", "--cache-dir", nullptr), FlagMatch::kNoMatch);
+  EXPECT_EQ(match_flag("--cache", "--cache-dir", nullptr), FlagMatch::kNoMatch);
+  EXPECT_EQ(match_flag("--threadsy=3", "--threads", nullptr), FlagMatch::kNoMatch);
+  EXPECT_EQ(match_flag("cache-dir", "--cache-dir", nullptr), FlagMatch::kNoMatch);
+  std::string_view v = "untouched";
+  EXPECT_EQ(match_flag("--other=x", "--cache-dir", &v), FlagMatch::kNoMatch);
+  EXPECT_EQ(v, "untouched");
+}
+
 }  // namespace
 }  // namespace bvl
