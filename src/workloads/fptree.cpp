@@ -8,30 +8,70 @@
 
 namespace bvl::wl {
 
-FpTree::FpTree(std::uint64_t min_support)
-    : min_support_(min_support), root_(std::make_unique<Node>()) {
+namespace {
+/// splitmix64 finisher: spreads the (parent, item) key over the
+/// power-of-two table so linear probing stays short.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+FpTree::FpTree(std::uint64_t min_support) : min_support_(min_support) {
   require(min_support_ >= 1, "FpTree: min_support must be >= 1");
+  pool_.push_back(Node{});  // root: parent kNil, never counted or mined
+}
+
+void FpTree::grow_edges() {
+  std::size_t cap = edge_keys_.empty() ? 16 : edge_keys_.size() * 2;
+  std::vector<std::uint64_t> keys(cap);
+  std::vector<std::uint32_t> vals(cap, kNil);
+  const std::size_t mask = cap - 1;
+  for (std::size_t i = 0; i < edge_vals_.size(); ++i) {
+    if (edge_vals_[i] == kNil) continue;
+    std::size_t j = static_cast<std::size_t>(mix(edge_keys_[i])) & mask;
+    while (vals[j] != kNil) j = (j + 1) & mask;
+    keys[j] = edge_keys_[i];
+    vals[j] = edge_vals_[i];
+  }
+  edge_keys_ = std::move(keys);
+  edge_vals_ = std::move(vals);
+}
+
+std::uint32_t FpTree::find_or_add_child(std::uint32_t parent, Item item) {
+  // Grow at 50% load so probe chains stay a few slots long.
+  if ((edge_count_ + 1) * 2 > edge_keys_.size()) grow_edges();
+  const std::uint64_t key = (static_cast<std::uint64_t>(parent) << 32) | item;
+  const std::size_t mask = edge_keys_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(mix(key)) & mask;
+  while (edge_vals_[i] != kNil) {
+    if (edge_keys_[i] == key) return edge_vals_[i];
+    i = (i + 1) & mask;
+  }
+  auto idx = static_cast<std::uint32_t>(pool_.size());
+  require(idx != kNil, "FpTree: node limit exceeded");
+  HeaderEntry& h = header_[item];
+  pool_.push_back(Node{0, item, parent, h.head});
+  h.head = idx;
+  edge_keys_[i] = key;
+  edge_vals_[i] = idx;
+  ++edge_count_;
+  return idx;
 }
 
 std::uint64_t FpTree::insert(const Transaction& t, std::uint64_t count) {
   require(std::is_sorted(t.begin(), t.end()), "FpTree::insert: transaction must be sorted");
   std::uint64_t visited = 0;
-  Node* cur = root_.get();
+  std::uint32_t cur = kRoot;
   for (Item item : t) {
     ++visited;
-    auto it = cur->children.find(item);
-    if (it == cur->children.end()) {
-      auto node = std::make_unique<Node>();
-      node->item = item;
-      node->parent = cur;
-      node->next_same_item = header_[item];
-      header_[item] = node.get();
-      ++nodes_;
-      it = cur->children.emplace(item, std::move(node)).first;
-    }
-    cur = it->second.get();
-    cur->count += count;
-    item_support_[item] += count;
+    cur = find_or_add_child(cur, item);
+    pool_[cur].count += count;
+    header_[item].support += count;
   }
   return visited;
 }
@@ -49,30 +89,29 @@ void FpTree::mine_rec(std::vector<Item>& suffix, std::vector<Pattern>& out, std:
   // encodes descending global support in our transaction encoding).
   for (auto it = header_.rbegin(); it != header_.rend(); ++it) {
     Item item = it->first;
-    auto sup_it = item_support_.find(item);
-    std::uint64_t support = sup_it == item_support_.end() ? 0 : sup_it->second;
-    if (support < min_support_) continue;
+    if (it->second.support < min_support_) continue;
     if (max_patterns != 0 && out.size() >= max_patterns) return;
 
     Pattern p;
     p.items = suffix;
     p.items.push_back(item);
     std::sort(p.items.begin(), p.items.end());
-    p.support = support;
+    p.support = it->second.support;
     out.push_back(p);
 
     // Conditional pattern base: prefix paths of every node carrying
-    // this item.
+    // this item. Chains are LIFO in insertion order, exactly like the
+    // pointer-based tree's, so the visit charges land identically.
     FpTree cond(min_support_);
-    for (Node* node = it->second; node != nullptr; node = node->next_same_item) {
+    for (std::uint32_t node = it->second.head; node != kNil; node = pool_[node].next_same_item) {
       Transaction path;
-      for (Node* up = node->parent; up != nullptr && up->parent != nullptr; up = up->parent) {
-        path.push_back(up->item);
+      for (std::uint32_t up = pool_[node].parent; up != kRoot; up = pool_[up].parent) {
+        path.push_back(pool_[up].item);
         if (visits) ++*visits;
       }
       if (path.empty()) continue;
       std::reverse(path.begin(), path.end());
-      std::uint64_t v = cond.insert(path, node->count);
+      std::uint64_t v = cond.insert(path, pool_[node].count);
       if (visits) *visits += v;
     }
     suffix.push_back(item);
