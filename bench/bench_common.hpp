@@ -126,16 +126,31 @@ struct BenchJsonEntry {
   double records_per_s = 0;
 };
 
-/// Parses a `--json PATH` / `--json=PATH` flag out of argv (same
-/// convention as --threads); returns the path or "" if absent. Benches
-/// that support it pass their results to write_metrics_json so the
-/// repo's committed BENCH_*.json perf ledgers can be regenerated from
-/// CI runs.
+/// Parses a `--json PATH` / `--json=PATH` flag out of argv via the
+/// same match_flag convention as --threads/--cache-dir in init();
+/// returns the path or "" if absent. A valueless --json is rejected
+/// with exit 2 (like every other malformed shared flag) instead of
+/// being silently dropped. Benches that support it pass their results
+/// to write_metrics_json so the repo's committed BENCH_*.json perf
+/// ledgers can be regenerated from CI runs.
 inline std::string parse_json_flag(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
-    std::string a = argv[i];
-    if (a == "--json" && i + 1 < argc) return argv[i + 1];
-    if (a.rfind("--json=", 0) == 0) return a.substr(7);
+    std::string_view value;
+    FlagMatch m = match_flag(argv[i], "--json", &value);
+    if (m == FlagMatch::kNoMatch) continue;
+    if (m == FlagMatch::kNeedsValue) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: invalid --json value '<missing>' (expected a path)\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      value = argv[i + 1];
+    }
+    if (value.empty()) {
+      std::fprintf(stderr, "%s: invalid --json value '' (expected a path)\n", argv[0]);
+      std::exit(2);
+    }
+    return std::string(value);
   }
   return "";
 }

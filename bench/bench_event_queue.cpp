@@ -22,6 +22,7 @@
 #include "sim/event_queue.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/string_util.hpp"
 
 namespace bvl::sim {
 namespace {
@@ -203,16 +204,27 @@ int main(int argc, char** argv) {
   using namespace bvl::sim;
   std::size_t n = 1u << 20;  // >= 1M pending events
   std::string json;
+  // `--flag VALUE` / `--flag=VALUE` via string_util::match_flag, the
+  // shared bench convention; unknown options still exit 2.
+  auto valued = [&](std::string_view a, int& i, const char* flag,
+                    std::string* out) -> bool {
+    std::string_view inline_value;
+    bvl::FlagMatch m = bvl::match_flag(a, flag, &inline_value);
+    if (m == bvl::FlagMatch::kNoMatch) return false;
+    if (m == bvl::FlagMatch::kNeedsValue) {
+      if (i + 1 >= argc) return false;  // falls through to unknown-option exit 2
+      *out = argv[++i];
+    } else {
+      *out = std::string(inline_value);
+    }
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
-    if (a == "--events" && i + 1 < argc) {
-      n = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
-    } else if (a.rfind("--events=", 0) == 0) {
-      n = static_cast<std::size_t>(std::strtoull(a.c_str() + 9, nullptr, 10));
-    } else if (a == "--json" && i + 1 < argc) {
-      json = argv[++i];
-    } else if (a.rfind("--json=", 0) == 0) {
-      json = a.substr(7);
+    std::string value;
+    if (valued(a, i, "--events", &value)) {
+      n = static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (valued(a, i, "--json", &json)) {
     } else if (a == "--help" || a == "-h") {
       std::printf("usage: %s [--events N] [--json PATH]\n", argv[0]);
       return 0;

@@ -57,24 +57,38 @@ int main(int argc, char** argv) {
     }
     return argv[++i];
   };
+  // Valued flags go through string_util::match_flag so `--flag VALUE`
+  // and `--flag=VALUE` parse identically everywhere; any unmatched
+  // argument is still an unknown option (exit 2). Returns 0 when the
+  // argument is not `flag`, 1 when a value was captured, -1 when the
+  // bare form had no next argument (bad_args already set).
+  auto valued = [&](std::string_view a, int& i, const char* flag, std::string* out) -> int {
+    std::string_view inline_value;
+    FlagMatch m = match_flag(a, flag, &inline_value);
+    if (m == FlagMatch::kNoMatch) return 0;
+    if (m == FlagMatch::kNeedsValue) {
+      const char* v = need_value(i, flag);
+      if (v == nullptr) return -1;
+      *out = v;
+    } else {
+      *out = std::string(inline_value);
+    }
+    return 1;
+  };
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
+    std::string run_id;
     if (a == "--list") list = true;
     else if (a == "--all") all = true;
     else if (a == "--check") check = true;
     else if (a == "--help" || a == "-h") help = true;
-    else if (a == "--run") {
-      if (const char* v = need_value(i, "--run")) run_ids.push_back(v);
-    } else if (a.rfind("--run=", 0) == 0) run_ids.push_back(a.substr(6));
-    else if (a == "--json") {
-      if (const char* v = need_value(i, "--json")) json_dir = v;
-    } else if (a.rfind("--json=", 0) == 0) json_dir = a.substr(7);
-    else if (a == "--csv") {
-      if (const char* v = need_value(i, "--csv")) csv_dir = v;
-    } else if (a.rfind("--csv=", 0) == 0) csv_dir = a.substr(6);
-    else if (a == "--threads" || a.rfind("--threads=", 0) == 0) {
+    else if (int r = valued(a, i, "--run", &run_id); r != 0) {
+      if (r > 0) run_ids.push_back(run_id);
+    } else if (valued(a, i, "--json", &json_dir) != 0) {
+    } else if (valued(a, i, "--csv", &csv_dir) != 0) {
+    } else if (match_flag(a, "--threads", nullptr) != FlagMatch::kNoMatch) {
       if (a == "--threads") ++i;  // value consumed by bench::init below
-    } else if (a == "--cache-dir" || a.rfind("--cache-dir=", 0) == 0) {
+    } else if (match_flag(a, "--cache-dir", nullptr) != FlagMatch::kNoMatch) {
       if (a == "--cache-dir") ++i;  // value consumed by bench::init below
     } else {
       std::fprintf(stderr, "%s: unknown option '%s' (try --help)\n", argv[0], a.c_str());

@@ -1,5 +1,8 @@
 #include "arch/dvfs.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace bvl::arch {
@@ -13,6 +16,7 @@ DvfsTable::DvfsTable(std::vector<OperatingPoint> points) : points_(std::move(poi
 }
 
 Volts DvfsTable::voltage_at(Hertz freq) const {
+  require(freq > 0 && std::isfinite(freq), "DvfsTable::voltage_at: non-positive frequency");
   if (freq <= points_.front().freq) return points_.front().voltage;
   if (freq >= points_.back().freq) return points_.back().voltage;
   for (std::size_t i = 1; i < points_.size(); ++i) {
@@ -24,6 +28,38 @@ Volts DvfsTable::voltage_at(Hertz freq) const {
     }
   }
   return points_.back().voltage;  // unreachable
+}
+
+Hertz DvfsTable::clamp(Hertz freq) const {
+  require(freq > 0 && std::isfinite(freq), "DvfsTable::clamp: non-positive frequency");
+  return std::clamp(freq, min_freq(), max_freq());
+}
+
+Hertz DvfsTable::level_freq(int i) const {
+  require(i >= 0 && i < levels(), "DvfsTable::level_freq: level out of range");
+  return points_[static_cast<std::size_t>(i)].freq;
+}
+
+int DvfsTable::level_of(Hertz freq) const {
+  Hertz f = clamp(freq);
+  int best = 0;
+  double best_dist = std::abs(points_[0].freq - f);
+  for (int i = 1; i < levels(); ++i) {
+    double dist = std::abs(points_[static_cast<std::size_t>(i)].freq - f);
+    if (dist <= best_dist) {  // <=: ties round up to the faster point
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Hertz DvfsTable::step_down(Hertz freq) const {
+  return level_freq(std::max(0, level_of(freq) - 1));
+}
+
+Hertz DvfsTable::step_up(Hertz freq) const {
+  return level_freq(std::min(levels() - 1, level_of(freq) + 1));
 }
 
 std::vector<Hertz> paper_frequency_sweep() {

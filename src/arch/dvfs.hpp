@@ -22,12 +22,36 @@ class DvfsTable {
   /// Points must be sorted by ascending frequency, all positive.
   explicit DvfsTable(std::vector<OperatingPoint> points);
 
-  /// Linear interpolation; clamps outside the table range.
+  /// Linear interpolation; clamps outside the table range. Rejects
+  /// non-positive / non-finite frequencies (a zero or NaN operating
+  /// point is a caller bug, not a table lookup).
   Volts voltage_at(Hertz freq) const;
 
   Hertz min_freq() const { return points_.front().freq; }
   Hertz max_freq() const { return points_.back().freq; }
   const std::vector<OperatingPoint>& points() const { return points_; }
+
+  /// Clamps `freq` into the table's [min_freq, max_freq] range.
+  Hertz clamp(Hertz freq) const;
+
+  // ---- Discrete level stepping (governors / power capping) ----
+  // A "level" is an index into the operating-point table; governors
+  // and the RAPL-style cap loop move nodes along these indexes rather
+  // than along a continuous frequency axis.
+
+  /// Number of discrete operating points.
+  int levels() const { return static_cast<int>(points_.size()); }
+
+  /// Frequency of level `i` (0 = slowest). `i` must be in range.
+  Hertz level_freq(int i) const;
+
+  /// Index of the table point nearest to `freq` (ties round up).
+  int level_of(Hertz freq) const;
+
+  /// One level below/above `freq`'s nearest point, clamped at the
+  /// table ends — the stepping primitive of the cap enforcement loop.
+  Hertz step_down(Hertz freq) const;
+  Hertz step_up(Hertz freq) const;
 
  private:
   std::vector<OperatingPoint> points_;

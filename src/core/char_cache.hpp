@@ -46,9 +46,11 @@ namespace bvl::core {
 class CharCache {
  public:
   /// Current payload layout version. Bump whenever JobTrace /
-  /// JobConfig / WorkCounters gain, lose or reorder serialized fields;
-  /// old files are then rejected and transparently regenerated.
-  static constexpr std::uint32_t kFormatVersion = 1;
+  /// JobConfig / WorkCounters gain, lose or reorder serialized fields
+  /// — or the key schema changes (v2: the governor/cap plan joined
+  /// the disk key); old files are then rejected and transparently
+  /// regenerated.
+  static constexpr std::uint32_t kFormatVersion = 2;
 
   /// `dir` must already exist (Characterizer::set_cache_dir creates
   /// it); a non-directory or unwritable path degrades to a cache that

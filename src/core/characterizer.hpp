@@ -16,6 +16,7 @@
 #include "mapreduce/engine.hpp"
 #include "perf/perf_model.hpp"
 #include "perf/pricer.hpp"
+#include "power/governor.hpp"
 #include "workloads/registry.hpp"
 
 namespace bvl::core {
@@ -41,6 +42,15 @@ struct RunSpec {
   /// wasted attempts, wave stretch and backoff are charged on either
   /// server.
   mr::FaultPlan fault;
+
+  /// Governor/cap plan the run is priced under (power/governor.hpp).
+  /// Default-inactive: the spec prices at the static `freq` exactly
+  /// as before. Folded into both cache keys the same way `fault` is —
+  /// two specs differing only in their power plan must never alias
+  /// one cache entry, even though today's engine trace is frequency-
+  /// independent (the plan shapes replay, and future characterization
+  /// layers may consume it).
+  power::PowerPlanSpec power;
 };
 
 class Characterizer {
@@ -100,7 +110,7 @@ class Characterizer {
   const perf::ClusterConfig& cluster_config() const { return cluster_; }
 
  private:
-  using Key = std::tuple<int, Bytes, Bytes, int, bool, std::uint64_t>;
+  using Key = std::tuple<int, Bytes, Bytes, int, bool, std::uint64_t, std::uint64_t>;
   Key key_of(const RunSpec& spec) const;
   std::string disk_key(const RunSpec& spec) const;
 

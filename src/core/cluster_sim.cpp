@@ -4,12 +4,14 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <list>
 #include <memory>
 #include <set>
 #include <utility>
 
 #include "core/metrics.hpp"
 #include "perf/pricer.hpp"
+#include "power/power_model.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/resource.hpp"
 #include "sim/workload/quantile.hpp"
@@ -73,11 +75,258 @@ Seconds est_task_duration(const perf::SimTask& t, const Node& n, Seconds now, Se
          t.backoff_s;
 }
 
+/// The rack's frequency-domain runtime: one DVFS level per node,
+/// stepped by the configured governor on a fixed control period and
+/// clamped by the rack power cap. Owns the in-flight compute legs so
+/// a level change reprices the unfinished fraction of every running
+/// task on that node (EventQueue cancellation is O(1) amortized), and
+/// meters the modeled rack draw incrementally so the cap invariant —
+/// draw never exceeds cap_w at any event timestamp — is enforced at
+/// every draw-changing event, not just at control ticks. Only
+/// constructed when PowerPlanSpec::active(): the default path
+/// schedules zero extra events and stays byte-identical.
+class PowerRuntime {
+ public:
+  PowerRuntime(sim::Simulation& sim, const power::PowerPlanSpec& spec,
+               const std::vector<Node>& nodes, Hertz base_freq, const char* where)
+      : sim_(sim), spec_(spec), nodes_(nodes) {
+    require(spec.period_s > 0, std::string(where) + ": power control period must be > 0");
+    if (spec.governor == power::GovernorKind::kOndemand) {
+      require(0 < spec.down_threshold && spec.down_threshold < spec.up_threshold &&
+                  spec.up_threshold <= 1.0,
+              std::string(where) + ": need 0 < down_threshold < up_threshold <= 1");
+    }
+    Watts idle_total = 0;
+    Watts max_delta = 0;
+    state_.reserve(nodes.size());
+    for (const Node& n : nodes) {
+      NodeState s(*n.server);
+      s.base_level = s.table->level_of(base_freq);
+      switch (spec.governor) {
+        case power::GovernorKind::kPerformance: s.level = s.table->levels() - 1; break;
+        case power::GovernorKind::kPowersave: s.level = 0; break;
+        default: s.level = s.base_level; break;  // kNone (cap only), kOndemand
+      }
+      s.plan = power::FreqPlan::constant(s.table->level_freq(s.level));
+      idle_total += n.server->power.system_idle_w;
+      Hertz fmin = s.table->level_freq(0);
+      max_delta = std::max(max_delta, s.model.node_draw(1, fmin) - s.model.node_draw(0, fmin));
+      state_.push_back(std::move(s));
+    }
+    if (spec.rack_cap_w > 0) {
+      // Liveness: with the whole rack idle at the bottom level the cap
+      // must still admit one task somewhere, or pending work could
+      // deadlock with nothing running to re-trigger dispatch.
+      require(spec.rack_cap_w >= idle_total + max_delta,
+              std::string(where) +
+                  ": rack_cap_w is below the rack idle floor plus one bottom-level task — "
+                  "no task could ever be admitted");
+    }
+    meter();
+  }
+
+  /// Wires the control loop: `more_work` keeps it alive (a tick that
+  /// sees no more work does not reschedule, letting the queue drain);
+  /// `after_tick` re-runs dispatch, since a tick can free capped
+  /// capacity (level lowering under ondemand/powersave, headroom
+  /// recovery toward the base level under a cap).
+  void begin(std::function<bool()> more_work, std::function<void()> after_tick) {
+    more_work_ = std::move(more_work);
+    after_tick_ = std::move(after_tick);
+    sim_.in(spec_.period_s, [this] { tick(); });
+  }
+
+  /// Cap admission gate for one more task on `flat`: throttles the
+  /// node down DVFS levels until the post-admission draw fits under
+  /// the cap; false (defer — the scheduler sees capped capacity) when
+  /// even the bottom level does not fit.
+  bool admit(std::size_t flat) {
+    if (spec_.rack_cap_w <= 0) return true;
+    NodeState& s = state_[flat];
+    auto delta = [&] {
+      int busy = nodes_[flat].slots->in_use();
+      return s.model.node_draw(busy + 1, s.freq()) - s.model.node_draw(busy, s.freq());
+    };
+    while (draw_ + delta() > spec_.rack_cap_w + kCapEps && s.level > 0) {
+      set_level(flat, s.level - 1);
+    }
+    return draw_ + delta() <= spec_.rack_cap_w + kCapEps;
+  }
+
+  /// The power-mode compute channel: registers the leg (so level
+  /// changes can reprice it) and schedules its completion at the
+  /// current level's duration. `dur_at(level)` is the task's full
+  /// compute time at that DVFS level.
+  void start_compute(std::size_t flat, std::function<Seconds(int)> dur_at,
+                     std::function<void()> done) {
+    NodeState& s = state_[flat];
+    Seconds dur = dur_at(s.level);
+    require(dur >= 0, "PowerRuntime: negative compute duration");
+    if (dur <= 0) {  // nothing to reprice; keep the event semantics
+      sim_.in(0, std::move(done));
+      return;
+    }
+    s.legs.emplace_back();
+    auto it = std::prev(s.legs.end());
+    it->dur_at = std::move(dur_at);
+    it->done = std::move(done);
+    it->since = sim_.now();
+    it->cur_dur = dur;
+    it->fire = [this, flat, it] {
+      auto finished = std::move(it->done);
+      state_[flat].legs.erase(it);
+      finished();
+    };
+    it->ev = sim_.in(dur, it->fire);
+  }
+
+  /// Call after any slot acquire/release: advances the draw integral
+  /// with the old draw, then re-samples.
+  void draw_changed() { meter(); }
+
+  PowerStats finish(Seconds end) {
+    energy_ += draw_ * (end - metered_to_);
+    metered_to_ = end;
+    PowerStats st;
+    st.active = true;
+    st.cap_w = spec_.rack_cap_w;
+    st.metered_energy = energy_;
+    st.peak_draw = peak_;
+    st.cap_exceeded = cap_exceeded_;
+    st.level_changes = level_changes_;
+    st.node_plans.reserve(state_.size());
+    for (const NodeState& s : state_) st.node_plans.push_back(s.plan);
+    return st;
+  }
+
+ private:
+  static constexpr Watts kCapEps = 1e-9;
+
+  struct ComputeLeg {
+    std::function<Seconds(int)> dur_at;  ///< full duration at a DVFS level
+    std::function<void()> done;
+    std::function<void()> fire;  ///< erases the leg, then done()
+    sim::EventId ev = 0;
+    double frac = 0;     ///< fraction completed before `since`
+    Seconds since = 0;   ///< when the current schedule began
+    Seconds cur_dur = 0; ///< full duration at the current level
+  };
+
+  struct NodeState {
+    explicit NodeState(const arch::ServerConfig& server)
+        : table(&server.dvfs),
+          model(server),
+          plan(power::FreqPlan::constant(server.dvfs.max_freq())) {}
+    const arch::DvfsTable* table;
+    power::PowerModel model;
+    power::FreqPlan plan;  ///< realized frequency timeline
+    int level = 0;
+    int base_level = 0;    ///< the static operating point (cap recovery target)
+    double last_busy = 0;  ///< busy-slot-seconds snapshot at the last tick
+    std::list<ComputeLeg> legs;
+    Hertz freq() const { return table->level_freq(level); }
+  };
+
+  Watts draw_now() const {
+    Watts w = 0;
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+      w += state_[i].model.node_draw(nodes_[i].slots->in_use(), state_[i].freq());
+    }
+    return w;
+  }
+
+  void meter() {
+    Seconds now = sim_.now();
+    energy_ += draw_ * (now - metered_to_);
+    metered_to_ = now;
+    draw_ = draw_now();
+    peak_ = std::max(peak_, draw_);
+    if (spec_.rack_cap_w > 0 && draw_ > spec_.rack_cap_w + kCapEps) cap_exceeded_ = true;
+  }
+
+  void set_level(std::size_t flat, int level) {
+    NodeState& s = state_[flat];
+    if (level == s.level) return;
+    s.level = level;
+    s.plan.append(sim_.now(), s.freq());
+    ++level_changes_;
+    reprice(flat);
+    meter();
+  }
+
+  /// Mid-flight repricing: every running compute leg on the node
+  /// carries its completed fraction across the level change and the
+  /// remainder is rescheduled at the new level's duration.
+  void reprice(std::size_t flat) {
+    NodeState& s = state_[flat];
+    Seconds now = sim_.now();
+    for (ComputeLeg& leg : s.legs) {
+      if (leg.cur_dur > 0) leg.frac += (now - leg.since) / leg.cur_dur;
+      leg.frac = std::min(leg.frac, 1.0);
+      sim_.cancel(leg.ev);
+      leg.since = now;
+      leg.cur_dur = leg.dur_at(s.level);
+      leg.ev = sim_.in(std::max<Seconds>(0, (1.0 - leg.frac) * leg.cur_dur), leg.fire);
+    }
+  }
+
+  /// Would raising `flat` one level keep the rack under the cap?
+  bool raise_fits(std::size_t flat) const {
+    if (spec_.rack_cap_w <= 0) return true;
+    const NodeState& s = state_[flat];
+    int busy = nodes_[flat].slots->in_use();
+    Watts cur = s.model.node_draw(busy, s.freq());
+    Watts next = s.model.node_draw(busy, s.table->level_freq(s.level + 1));
+    return draw_ - cur + next <= spec_.rack_cap_w + kCapEps;
+  }
+
+  void tick() {
+    if (!more_work_()) return;  // drained: stop ticking so the queue empties
+    Seconds now = sim_.now();
+    Seconds dt = now - last_tick_;
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+      NodeState& s = state_[i];
+      double busy = nodes_[i].slots->busy_slot_seconds(now);
+      double util = dt > 0 ? (busy - s.last_busy) /
+                                 (static_cast<double>(nodes_[i].slots->slots()) * dt)
+                           : 0.0;
+      s.last_busy = busy;
+      int want = spec_.governor == power::GovernorKind::kNone
+                     ? s.base_level  // cap-only: recover toward the static point
+                     : power::govern_level(spec_, s.level, s.table->levels(), util);
+      // Lowering is always cap-safe; each raise must keep the rack
+      // under the cap with its current occupancy.
+      while (s.level > want) set_level(i, s.level - 1);
+      while (s.level < want && raise_fits(i)) set_level(i, s.level + 1);
+    }
+    last_tick_ = now;
+    sim_.in(spec_.period_s, [this] { tick(); });
+    after_tick_();  // a tick can free capped capacity: re-run dispatch
+  }
+
+  sim::Simulation& sim_;
+  const power::PowerPlanSpec spec_;
+  const std::vector<Node>& nodes_;
+  std::vector<NodeState> state_;
+  std::function<bool()> more_work_;
+  std::function<void()> after_tick_;
+  Watts draw_ = 0;
+  Watts peak_ = 0;
+  Joules energy_ = 0;
+  Seconds metered_to_ = 0;
+  Seconds last_tick_ = 0;
+  bool cap_exceeded_ = false;
+  int level_changes_ = 0;
+};
+
 struct JobState {
   AppClass cls = AppClass::kHybrid;
   bool prefers_big = false;
   /// Per node type: this job's tasks rendered for that type.
   std::vector<const perf::JobSim*> profile;
+  /// Per [type][DVFS level] renders, only populated when the power
+  /// runtime is active — the compute-leg repricing source.
+  std::vector<std::vector<const perf::JobSim*>> by_level;
   int nmaps = 0;
   int maps_done = 0;
   int slowstart_after = 0;
@@ -206,6 +455,14 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
     }
   }
 
+  // Frequency domains: only constructed when the governor/cap spec is
+  // active, so the default replay schedules zero extra events.
+  std::unique_ptr<PowerRuntime> prt;
+  if (opts.power.active()) {
+    prt = std::make_unique<PowerRuntime>(sim, opts.power, nodes, RunSpec{}.freq, "simulate_mix");
+  }
+  PowerRuntime* pr = prt.get();
+
   // ---- Pre-characterize distinct job specs in parallel ----
   // The engine runs dominate; the timeline replay below only consumes
   // cached traces. Characterizer::trace is thread-safe.
@@ -234,6 +491,26 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
     }
   }
 
+  // Per-level renders for the frequency domains: a task's compute leg
+  // is repriced from these whenever a governor or the cap loop moves
+  // its node between DVFS levels (I/O demands are frequency-
+  // independent, so only cpu_s differs across levels).
+  std::map<std::tuple<int, Bytes, int, int>, perf::JobSim> level_profiles;
+  if (pr != nullptr) {
+    for (const auto& spec : distinct) {
+      const mr::JobTrace& trace = ch.trace(spec);
+      for (std::size_t t = 0; t < types.size(); ++t) {
+        for (int lvl = 0; lvl < types[t]->dvfs.levels(); ++lvl) {
+          level_profiles.emplace(
+              std::make_tuple(static_cast<int>(spec.workload), spec.input_size,
+                              static_cast<int>(t), lvl),
+              ch.event_pricer(*types[t]).job_sim(trace, types[t]->dvfs.level_freq(lvl),
+                                                 task_slots_for(*types[t], opts)));
+        }
+      }
+    }
+  }
+
   // ---- Job state + the task queue (job order, maps before reduces) ----
   std::vector<JobState> states(jobs.size());
   std::vector<TaskRef> pending;
@@ -246,6 +523,18 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
     for (std::size_t t = 0; t < types.size(); ++t) {
       js.profile[t] = &profiles.at(std::make_tuple(static_cast<int>(jobs[j].workload),
                                                    jobs[j].input_size, static_cast<int>(t)));
+    }
+    if (pr != nullptr) {
+      js.by_level.resize(types.size());
+      for (std::size_t t = 0; t < types.size(); ++t) {
+        int nlevels = types[t]->dvfs.levels();
+        js.by_level[t].resize(static_cast<std::size_t>(nlevels));
+        for (int lvl = 0; lvl < nlevels; ++lvl) {
+          js.by_level[t][static_cast<std::size_t>(lvl)] =
+              &level_profiles.at(std::make_tuple(static_cast<int>(jobs[j].workload),
+                                                 jobs[j].input_size, static_cast<int>(t), lvl));
+        }
+      }
     }
     js.nmaps = static_cast<int>(js.profile[0]->map_tasks.size());
     js.slowstart_after = std::min(
@@ -318,6 +607,7 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
     return best;
   };
 
+  int tasks_left = static_cast<int>(pending.size());
   std::function<void()> dispatch;  // declared first: task completions re-enter it
   auto start_task = [&](const TaskRef& tr, Node& n) {
     bool got = n.slots->try_acquire();
@@ -331,7 +621,8 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
     if (tr.phase == 0) js.maps_by_node[flat] += 1;
     n.tasks_run += 1;
     n.est_ends.insert(sim.now() + est_duration(tr, n, 0));
-    auto on_done = [&sim, &js, &n, &dispatch, tr, &t] {
+    if (pr != nullptr) pr->draw_changed();
+    auto on_done = [&sim, &js, &n, &dispatch, &tasks_left, tr, &t, pr] {
       n.energy += t.energy;
       js.energy += t.energy;
       js.last_finish = std::max(js.last_finish, sim.now());
@@ -341,9 +632,45 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
       }
       n.est_ends.erase(n.est_ends.begin());
       n.slots->release();
+      if (pr != nullptr) pr->draw_changed();
+      --tasks_left;
       dispatch();
     };
-    if (router != nullptr) {
+    if (pr != nullptr) {
+      // Power-mode replay: the compute leg runs in the node's
+      // frequency domain (repriced on level changes); disk and network
+      // legs are frequency-independent and identical to the static
+      // path.
+      std::vector<const perf::JobSim*> lv = js.by_level[static_cast<std::size_t>(n.type_id)];
+      std::function<Seconds(int)> dur_at = [lv = std::move(lv), phase = tr.phase,
+                                            task = tr.task](int lvl) {
+        const perf::JobSim& p = *lv[static_cast<std::size_t>(lvl)];
+        return (phase == 0 ? p.map_tasks[task] : p.reduce_tasks[task]).cpu_s;
+      };
+      perf::ComputeChannel cpu = [pr, flat, dur_at = std::move(dur_at)](
+                                     const perf::SimTask&, std::function<void()> done) {
+        pr->start_compute(flat, dur_at, std::move(done));
+      };
+      perf::ShuffleChannel net;
+      if (router != nullptr) {
+        net = [rtr = router.get(), flat, phase = tr.phase, &maps = js.maps_by_node](
+                  const perf::SimTask& task, std::function<void()> done) {
+          std::vector<std::pair<int, double>> sources;
+          if (phase == 1) {
+            sources.reserve(maps.size());
+            for (const auto& [f, c] : maps) {
+              sources.emplace_back(static_cast<int>(f), static_cast<double>(c));
+            }
+          }
+          rtr->shuffle(static_cast<int>(flat), sources, task.net_bytes, std::move(done));
+        };
+      } else {
+        net = [nic = n.nic.get()](const perf::SimTask& task, std::function<void()> done) {
+          nic->submit(task.nic_svc_s, std::move(done));
+        };
+      }
+      perf::replay_task_on_slot(sim, *n.disk, t, cpu, net, std::move(on_done));
+    } else if (router != nullptr) {
       replay_task_via_fabric(sim, *n.disk, *router, static_cast<int>(flat), tr.phase,
                              js.maps_by_node, t, std::move(on_done));
     } else {
@@ -361,10 +688,12 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
           continue;
         }
         Node* n = pick_node(*it);
-        if (n == nullptr || !n->has_free_slot()) {
-          // Nothing suitable, or the best choice is a full node worth
-          // waiting for (ETF): leave the task pending; the next task
-          // completion re-runs dispatch.
+        if (n == nullptr || !n->has_free_slot() ||
+            (pr != nullptr && !pr->admit(static_cast<std::size_t>(n - nodes.data())))) {
+          // Nothing suitable, the best choice is a full node worth
+          // waiting for (ETF), or the cap defers admission: leave the
+          // task pending; the next task completion (or control tick)
+          // re-runs dispatch.
           ++it;
           continue;
         }
@@ -376,6 +705,7 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
     }
   };
 
+  if (pr != nullptr) pr->begin([&] { return tasks_left > 0; }, [&] { dispatch(); });
   dispatch();
   sim.run();
   require(pending.empty(), "simulate_mix: undispatched tasks after replay");
@@ -437,6 +767,7 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
     result.nodes.push_back(std::move(u));
   }
   result.fabric = fabric_stats_over(fabric.get(), result.makespan);
+  if (prt != nullptr) result.power = prt->finish(sim.now());
   return result;
 }
 
@@ -452,6 +783,9 @@ struct ServiceJob {
   bool measured = false;
   Seconds arrival = 0;
   std::vector<const perf::JobSim*> profile;  ///< per node type
+  /// Per [type][DVFS level] renders, only populated when the power
+  /// runtime is active — the compute-leg repricing source.
+  std::vector<std::vector<const perf::JobSim*>> by_level;
   int nmaps = 0;
   int maps_done = 0;
   int slowstart_after = 0;
@@ -540,6 +874,13 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
     }
   }
 
+  std::unique_ptr<PowerRuntime> prt;
+  if (opts.mix.power.active()) {
+    prt = std::make_unique<PowerRuntime>(sim, opts.mix.power, nodes, RunSpec{}.freq,
+                                         "simulate_service");
+  }
+  PowerRuntime* pr = prt.get();
+
   // ---- Pre-characterize every distinct spec of every mix in parallel ----
   std::vector<RunSpec> distinct;
   {
@@ -556,6 +897,7 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
     parallel_for(exec_threads, distinct.size(), [&](std::size_t i) { ch.trace(distinct[i]); });
   }
   std::map<std::tuple<int, Bytes, int>, perf::JobSim> profiles;
+  std::map<std::tuple<int, Bytes, int, int>, perf::JobSim> level_profiles;
   std::map<int, bool> prefers_big_by_workload;
   for (const auto& spec : distinct) {
     const mr::JobTrace& trace = ch.trace(spec);
@@ -564,6 +906,15 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
           std::make_tuple(static_cast<int>(spec.workload), spec.input_size, static_cast<int>(t)),
           ch.event_pricer(*types[t]).job_sim(trace, spec.freq,
                                              task_slots_for(*types[t], opts.mix)));
+      if (pr != nullptr) {
+        for (int lvl = 0; lvl < types[t]->dvfs.levels(); ++lvl) {
+          level_profiles.emplace(
+              std::make_tuple(static_cast<int>(spec.workload), spec.input_size,
+                              static_cast<int>(t), lvl),
+              ch.event_pricer(*types[t]).job_sim(trace, types[t]->dvfs.level_freq(lvl),
+                                                 task_slots_for(*types[t], opts.mix)));
+        }
+      }
     }
     int w = static_cast<int>(spec.workload);
     if (prefers_big_by_workload.find(w) == prefers_big_by_workload.end()) {
@@ -621,6 +972,8 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
   std::vector<ServiceJob> jobs;
   std::vector<TaskRef> task_pool;  ///< FairShareQueue items index into this
   std::size_t rr_counter = 0;
+  int tasks_outstanding = 0;  ///< enqueued, not yet completed (power ticks)
+  bool stream_open = false;   ///< a future arrival is scheduled
 
   auto task_for = [&](const TaskRef& tr, int type_id) -> const perf::SimTask& {
     const perf::JobSim& p = *jobs[tr.job].profile[static_cast<std::size_t>(type_id)];
@@ -734,6 +1087,7 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
     for (std::size_t i = 0; i < reduces.size(); ++i) {
       task_pool.push_back({ji, 1, i, rr_counter++ % nodes.size()});
       fsq.enqueue(j.tenant, task_pool.size() - 1);
+      ++tasks_outstanding;
     }
   };
 
@@ -795,10 +1149,11 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
     if (tr.phase == 0) j.maps_by_node[flat] += 1;
     n.tasks_run += 1;
     n.est_ends.insert(sim.now() + est_task_duration(t, n, sim.now(), 0));
+    if (pr != nullptr) pr->draw_changed();
     std::size_t ji = tr.job;
     int phase = tr.phase;
     auto on_done = [&sim, &jobs, &n, &nodes, &reindex, &on_task_done, &enqueue_reduces,
-                    &dispatch, ji, phase, &t] {
+                    &dispatch, &tasks_outstanding, ji, phase, &t, pr] {
       ServiceJob& job = jobs[ji];
       n.energy += t.energy;
       job.energy += t.energy;
@@ -808,11 +1163,46 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
       }
       n.est_ends.erase(n.est_ends.begin());
       n.slots->release();
+      if (pr != nullptr) pr->draw_changed();
+      --tasks_outstanding;
       reindex(static_cast<std::size_t>(&n - nodes.data()));
       on_task_done(ji);
       dispatch();
     };
-    if (router != nullptr) {
+    if (pr != nullptr) {
+      // Power-mode replay (same shape as simulate_mix): the compute
+      // leg runs in the node's frequency domain. The level table is
+      // copied into the channel because `jobs` reallocates as the
+      // stream grows; the pointed-at renders live in level_profiles.
+      std::vector<const perf::JobSim*> lv = j.by_level[static_cast<std::size_t>(n.type_id)];
+      std::function<Seconds(int)> dur_at = [lv = std::move(lv), phase, task = tr.task](int lvl) {
+        const perf::JobSim& p = *lv[static_cast<std::size_t>(lvl)];
+        return (phase == 0 ? p.map_tasks[task] : p.reduce_tasks[task]).cpu_s;
+      };
+      perf::ComputeChannel cpu = [pr, flat, dur_at = std::move(dur_at)](
+                                     const perf::SimTask&, std::function<void()> done) {
+        pr->start_compute(flat, dur_at, std::move(done));
+      };
+      perf::ShuffleChannel net;
+      if (router != nullptr) {
+        net = [rtr = router.get(), flat, phase, &maps = j.maps_by_node](
+                  const perf::SimTask& task, std::function<void()> done) {
+          std::vector<std::pair<int, double>> sources;
+          if (phase == 1) {
+            sources.reserve(maps.size());
+            for (const auto& [f, c] : maps) {
+              sources.emplace_back(static_cast<int>(f), static_cast<double>(c));
+            }
+          }
+          rtr->shuffle(static_cast<int>(flat), sources, task.net_bytes, std::move(done));
+        };
+      } else {
+        net = [nic = n.nic.get()](const perf::SimTask& task, std::function<void()> done) {
+          nic->submit(task.nic_svc_s, std::move(done));
+        };
+      }
+      perf::replay_task_on_slot(sim, *n.disk, t, cpu, net, std::move(on_done));
+    } else if (router != nullptr) {
       replay_task_via_fabric(sim, *n.disk, *router, static_cast<int>(flat), tr.phase,
                              j.maps_by_node, t, std::move(on_done));
     } else {
@@ -833,7 +1223,8 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
       if (t < 0) break;
       TaskRef tr = task_pool[fsq.front(t)];
       Node* n = pick_node(tr);
-      if (n == nullptr) {
+      if (n == nullptr ||
+          (pr != nullptr && !pr->admit(static_cast<std::size_t>(n - nodes.data())))) {
         skip[static_cast<std::size_t>(t)] = true;
         continue;
       }
@@ -872,6 +1263,18 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
         j.profile[t] = &profiles.at(std::make_tuple(static_cast<int>(req.workload),
                                                     req.input_size, static_cast<int>(t)));
       }
+      if (pr != nullptr) {
+        j.by_level.resize(types.size());
+        for (std::size_t t = 0; t < types.size(); ++t) {
+          int nlevels = types[t]->dvfs.levels();
+          j.by_level[t].resize(static_cast<std::size_t>(nlevels));
+          for (int lvl = 0; lvl < nlevels; ++lvl) {
+            j.by_level[t][static_cast<std::size_t>(lvl)] =
+                &level_profiles.at(std::make_tuple(static_cast<int>(req.workload),
+                                                   req.input_size, static_cast<int>(t), lvl));
+          }
+        }
+      }
       j.nmaps = static_cast<int>(j.profile[0]->map_tasks.size());
       j.slowstart_after =
           std::min(j.nmaps, static_cast<int>(std::ceil(opts.mix.reduce_slowstart *
@@ -886,6 +1289,7 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
       for (std::size_t i = 0; i < jobs[ji].profile[0]->map_tasks.size(); ++i) {
         task_pool.push_back({ji, 0, i, rr_counter++ % nodes.size()});
         fsq.enqueue(tenant, task_pool.size() - 1);
+        ++tasks_outstanding;
       }
       if (jobs[ji].nmaps == 0) enqueue_reduces(ji);
       if (jobs[ji].remaining == 0) {
@@ -893,13 +1297,20 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
         sim.in(jobs[ji].profile[0]->other_s, [&, ji] { finalize_job(ji); });
       }
       Seconds nxt = arrivals_rng.next_after(at);
-      if (nxt < opts.horizon) schedule_arrival(nxt);
+      stream_open = nxt < opts.horizon;
+      if (stream_open) schedule_arrival(nxt);
       dispatch();
     });
   };
   Seconds first_arrival = arrivals_rng.next_after(0);
-  if (first_arrival < opts.horizon) schedule_arrival(first_arrival);
+  if (first_arrival < opts.horizon) {
+    stream_open = true;
+    schedule_arrival(first_arrival);
+  }
 
+  if (pr != nullptr) {
+    pr->begin([&] { return stream_open || tasks_outstanding > 0; }, [&] { dispatch(); });
+  }
   sim.run();
   require(fsq.empty(), "simulate_service: undispatched tasks after drain");
 
@@ -956,6 +1367,7 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
     result.tenants.push_back(std::move(s));
   }
   result.fabric = fabric_stats_over(fabric.get(), window);
+  if (prt != nullptr) result.power = prt->finish(sim.now());
   return result;
 }
 

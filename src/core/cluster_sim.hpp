@@ -28,6 +28,8 @@
 #include "core/characterizer.hpp"
 #include "core/classifier.hpp"
 #include "core/scheduler.hpp"
+#include "power/freq_plan.hpp"
+#include "power/governor.hpp"
 #include "sim/network/fabric.hpp"
 #include "sim/network/topology.hpp"
 #include "sim/workload/arrival.hpp"
@@ -66,6 +68,17 @@ struct MixOptions {
   /// rack spanning the whole rack list, otherwise topology.rack_of
   /// must match the flat node order of the expanded rack.
   sim::FabricOptions fabric;
+  /// DVFS governor and rack power cap (power/governor.hpp). Default
+  /// inactive: the replay takes the historical fixed-frequency path
+  /// with zero extra events, byte-identical to every golden. When
+  /// active, each node carries its own frequency timeline
+  /// (power::FreqPlan): governors step its DVFS level on a fixed
+  /// control period from observed slot utilization, the cap loop
+  /// throttles nodes down (and defers task admission at the bottom
+  /// level) so the modeled rack draw never exceeds rack_cap_w at any
+  /// event timestamp, and in-flight compute legs are repriced
+  /// mid-flight at every level change.
+  power::PowerPlanSpec power;
 };
 
 /// Resolved slot count for one node type under `opts`.
@@ -103,6 +116,29 @@ struct NodeUtilization {
   double slot_utilization = 0;  ///< busy_slot_s / (slots * timeline end)
 };
 
+/// Rack power telemetry of one replay under an active
+/// MixOptions::power. Inactive specs leave it default (active =
+/// false): the replay took the historical path with zero extra
+/// events. The per-job / per-node energy fields of the enclosing
+/// result keep their nominal (fixed-frequency) attribution either
+/// way; `metered_energy` is the authoritative wall figure once
+/// frequency actually moved.
+struct PowerStats {
+  bool active = false;
+  Watts cap_w = 0;            ///< the enforced cap (0 = uncapped)
+  /// Integral of the modeled rack draw (power::PowerModel::node_draw
+  /// summed over nodes, idle floor included) over the whole replay.
+  Joules metered_energy = 0;
+  Watts peak_draw = 0;        ///< max draw observed at any event timestamp
+  /// Invariant flag: true iff the modeled draw ever exceeded cap_w.
+  /// The cap loop enforces admission synchronously, so this must stay
+  /// false — the property tests and the powercap figure assert it.
+  bool cap_exceeded = false;
+  int level_changes = 0;      ///< DVFS transitions across all nodes
+  /// Realized per-node frequency timelines, flat node order.
+  std::vector<power::FreqPlan> node_plans;
+};
+
 struct MixResult {
   std::vector<JobSchedule> schedule;
   std::vector<NodeUtilization> nodes;
@@ -116,6 +152,8 @@ struct MixResult {
   /// when the run used the infinite-fabric default);
   /// spine_utilization is spine busy time over the makespan.
   sim::FabricStats fabric;
+  /// Governor/cap telemetry (default when MixOptions::power inactive).
+  PowerStats power;
 
   /// Operational cost of the whole mix (energy x makespan^x), routed
   /// through the shared core::edxp_value validation.
@@ -249,6 +287,9 @@ struct ServiceResult {
   /// Fabric ledger over the whole replay (warm-up included);
   /// spine_utilization uses the measurement window.
   sim::FabricStats fabric;
+  /// Governor/cap telemetry over the whole replay (default when
+  /// ServiceOptions::mix.power is inactive).
+  PowerStats power;
 
   /// Service-level cost figure: energy per job x p99 sojourn^x — the
   /// open-stream analogue of the batch ED^xP, routed through the same

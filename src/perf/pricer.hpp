@@ -24,6 +24,7 @@
 
 #include "perf/perf_model.hpp"
 #include "perf/task_cost.hpp"
+#include "power/freq_plan.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/network/topology.hpp"
 #include "sim/resource.hpp"
@@ -129,6 +130,20 @@ class EventPricer final : public Pricer {
   /// to a multi-node, multi-job timeline.
   JobSim job_sim(const mr::JobTrace& trace, Hertz freq, int slots = 0) const;
 
+  /// Prices `trace` under a time-varying frequency plan. A
+  /// single-segment plan delegates to the scalar path and is
+  /// guaranteed bit-identical to price(trace, plan.freq_at(0), slots)
+  /// (tests/perf/test_plan_pricing.cpp pins this on every workload);
+  /// a multi-segment plan replays the same per-task demands with each
+  /// task's compute leg rescaled mid-flight at every segment boundary
+  /// it straddles (I/O demands are frequency-independent), and the
+  /// analytic phase floors are dropped — once frequency moves under a
+  /// running job, the timeline is authoritative.
+  RunResult price(const mr::JobTrace& trace, const power::FreqPlan& plan, int slots = 0) const;
+
+  /// The plan-priced replay behind price(trace, plan, slots).
+  JobSim job_sim(const mr::JobTrace& trace, const power::FreqPlan& plan, int slots = 0) const;
+
  private:
   struct DerivedPhase;
   DerivedPhase derive_phase(const PhaseCost& pc, Hertz freq, int slots) const;
@@ -169,5 +184,31 @@ void replay_task_on_slot(sim::Simulation& sim, sim::ServiceQueue& disk, sim::Ser
 /// delegated to `net` — the fabric hook.
 void replay_task_on_slot(sim::Simulation& sim, sim::ServiceQueue& disk, const SimTask& t,
                          const ShuffleChannel& net, std::function<void()> on_complete);
+
+/// How a task's compute demand runs on the slot. The channel receives
+/// the task and a completion callback it must eventually invoke
+/// exactly once. The default channel is `sim.in(t.cpu_s, done)` — a
+/// fixed-frequency delay; the frequency-domain channel (plan pricing
+/// here, the governor/cap runtime in core/cluster_sim) walks segment
+/// boundaries and rescales the remaining compute instead.
+using ComputeChannel = std::function<void(const SimTask&, std::function<void()>)>;
+
+/// Fully-channeled variant: both the compute and network legs are
+/// delegated, with the same demand ordering as the fixed-frequency
+/// overloads (cpu, disk, network submitted at one instant; serial
+/// tail + backoff after all three).
+void replay_task_on_slot(sim::Simulation& sim, sim::ServiceQueue& disk, const SimTask& t,
+                         const ComputeChannel& cpu, const ShuffleChannel& net,
+                         std::function<void()> on_complete);
+
+/// Wall-clock completion time of a compute demand started at `start`
+/// under `plan`, where `dur_at(f)` is the demand's full duration at
+/// frequency f. Progress accrues at rate 1/dur_at(f) per second
+/// within each segment, so a demand straddling a boundary carries its
+/// completed fraction across and reprices only the remainder — the
+/// mid-flight rescaling rule shared by the plan pricer and the
+/// cluster-sim frequency domains. Pure; exhaustively unit-tested.
+Seconds plan_compute_finish(const power::FreqPlan& plan, Seconds start,
+                            const std::function<Seconds(Hertz)>& dur_at);
 
 }  // namespace bvl::perf

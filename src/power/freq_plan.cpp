@@ -1,0 +1,111 @@
+#include "power/freq_plan.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace bvl::power {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t b;
+  static_assert(sizeof(b) == sizeof(d));
+  __builtin_memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+std::uint64_t mix_bits(std::uint64_t h, std::uint64_t v) { return mix64(h ^ v); }
+
+}  // namespace
+
+FreqPlan FreqPlan::constant(Hertz freq) { return FreqPlan({{0.0, freq}}); }
+
+FreqPlan::FreqPlan(std::vector<FreqSegment> segments) {
+  require(!segments.empty(), "FreqPlan: empty plan");
+  require(segments.front().start == 0, "FreqPlan: first segment must start at t=0");
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const FreqSegment& s = segments[i];
+    require(s.freq > 0 && std::isfinite(s.freq), "FreqPlan: non-positive frequency");
+    require(std::isfinite(s.start) && s.start >= 0, "FreqPlan: invalid segment start");
+    if (i > 0) require(s.start > segments[i - 1].start, "FreqPlan: starts must ascend");
+    // Coalesce no-op transitions so single_segment() reflects the
+    // plan's *behavior*, not how it happened to be written down.
+    if (!segments_.empty() && segments_.back().freq == s.freq) continue;
+    segments_.push_back(s);
+  }
+}
+
+Hertz FreqPlan::freq_at(Seconds t) const {
+  require(t >= 0, "FreqPlan::freq_at: negative time");
+  Hertz f = segments_.front().freq;
+  for (const FreqSegment& s : segments_) {
+    if (s.start > t) break;
+    f = s.freq;
+  }
+  return f;
+}
+
+Seconds FreqPlan::next_change_after(Seconds t) const {
+  for (const FreqSegment& s : segments_) {
+    if (s.start > t) return s.start;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+Hertz FreqPlan::min_freq() const {
+  Hertz f = segments_.front().freq;
+  for (const FreqSegment& s : segments_) f = std::min(f, s.freq);
+  return f;
+}
+
+Hertz FreqPlan::max_freq() const {
+  Hertz f = segments_.front().freq;
+  for (const FreqSegment& s : segments_) f = std::max(f, s.freq);
+  return f;
+}
+
+void FreqPlan::append(Seconds start, Hertz freq) {
+  require(freq > 0 && std::isfinite(freq), "FreqPlan::append: non-positive frequency");
+  require(start >= segments_.back().start, "FreqPlan::append: time moved backwards");
+  if (start == segments_.back().start) {
+    segments_.back().freq = freq;
+    // Replacing may create an adjacent duplicate; re-coalesce.
+    if (segments_.size() >= 2 && segments_[segments_.size() - 2].freq == freq) {
+      segments_.pop_back();
+    }
+    return;
+  }
+  if (segments_.back().freq == freq) return;  // no-op transition
+  segments_.push_back({start, freq});
+}
+
+std::uint64_t FreqPlan::cache_key() const {
+  std::uint64_t h = mix64(0x66726571706c616eULL);  // "freqplan"
+  for (const FreqSegment& s : segments_) {
+    h = mix_bits(h, double_bits(s.start));
+    h = mix_bits(h, double_bits(s.freq));
+  }
+  return h;
+}
+
+std::string FreqPlan::label() const {
+  char buf[64];
+  if (single_segment()) {
+    std::snprintf(buf, sizeof buf, "%.1fGHz", segments_.front().freq / GHz);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fGHz(+%dseg)", segments_.front().freq / GHz,
+                  static_cast<int>(segments_.size()) - 1);
+  }
+  return buf;
+}
+
+}  // namespace bvl::power

@@ -1,0 +1,65 @@
+#include "power/governor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace bvl::power {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t b;
+  static_assert(sizeof(b) == sizeof(d));
+  __builtin_memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+std::uint64_t mix_bits(std::uint64_t h, std::uint64_t v) { return mix64(h ^ v); }
+
+}  // namespace
+
+std::string to_string(GovernorKind g) {
+  switch (g) {
+    case GovernorKind::kNone: return "none";
+    case GovernorKind::kPerformance: return "performance";
+    case GovernorKind::kPowersave: return "powersave";
+    case GovernorKind::kOndemand: return "ondemand";
+  }
+  throw Error("to_string(GovernorKind): unknown governor");
+}
+
+std::uint64_t PowerPlanSpec::cache_key() const {
+  std::uint64_t h = mix64(0x676f7665726e6f72ULL);  // "governor"
+  h = mix_bits(h, static_cast<std::uint64_t>(governor));
+  h = mix_bits(h, double_bits(rack_cap_w));
+  h = mix_bits(h, double_bits(period_s));
+  h = mix_bits(h, double_bits(up_threshold));
+  h = mix_bits(h, double_bits(down_threshold));
+  return h;
+}
+
+int govern_level(const PowerPlanSpec& spec, int current_level, int nlevels, double utilization) {
+  require(nlevels >= 1, "govern_level: no DVFS levels");
+  require(current_level >= 0 && current_level < nlevels, "govern_level: level out of range");
+  switch (spec.governor) {
+    case GovernorKind::kNone:
+    case GovernorKind::kPerformance:
+      return nlevels - 1;
+    case GovernorKind::kPowersave:
+      return 0;
+    case GovernorKind::kOndemand:
+      if (utilization > spec.up_threshold) return std::min(nlevels - 1, current_level + 1);
+      if (utilization < spec.down_threshold) return std::max(0, current_level - 1);
+      return current_level;
+  }
+  throw Error("govern_level: unknown governor");
+}
+
+}  // namespace bvl::power

@@ -20,8 +20,34 @@ double PowerModel::activity_factor(double ipc) const {
 }
 
 Watts PowerModel::core_power(Hertz freq) const {
-  Volts v = dvfs_.voltage_at(freq);
-  return params_.core_ceff_f * v * v * freq + params_.core_leak_w_per_v * v;
+  // Clamp into the DVFS table: voltage_at already saturates at the
+  // table ends, but the f term in C*V^2*f would keep growing linearly
+  // past max_freq (and shrinking below min_freq) where the model has
+  // no calibration points.
+  Hertz f = dvfs_.clamp(freq);
+  Volts v = dvfs_.voltage_at(f);
+  return params_.core_ceff_f * v * v * f + params_.core_leak_w_per_v * v;
+}
+
+Joules PowerModel::dynamic_energy_over(const SystemLoad& load, const FreqPlan& plan, Seconds t0,
+                                       Seconds t1) const {
+  require(t1 >= t0 && t0 >= 0, "PowerModel::dynamic_energy_over: bad interval");
+  Joules e = 0;
+  const auto& segs = plan.segments();
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    Seconds seg_begin = std::max(t0, segs[i].start);
+    Seconds seg_end = i + 1 < segs.size() ? std::min(t1, segs[i + 1].start) : t1;
+    if (seg_end > seg_begin) e += dynamic_power(load, segs[i].freq) * (seg_end - seg_begin);
+  }
+  return e;
+}
+
+Watts PowerModel::node_draw(int active_cores, Hertz freq) const {
+  require(active_cores >= 0, "PowerModel::node_draw: negative active cores");
+  SystemLoad load;
+  load.active_cores = active_cores;
+  load.avg_ipc = static_cast<double>(issue_width_);  // envelope: full activity factor
+  return params_.system_idle_w + dynamic_power(load, dvfs_.clamp(freq));
 }
 
 Watts PowerModel::dynamic_power(const SystemLoad& load, Hertz freq) const {

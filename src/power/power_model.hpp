@@ -12,6 +12,7 @@
 #pragma once
 
 #include "arch/server_config.hpp"
+#include "power/freq_plan.hpp"
 #include "util/units.hpp"
 
 namespace bvl::power {
@@ -37,7 +38,27 @@ class PowerModel {
   Watts idle_power() const { return params_.system_idle_w; }
 
   /// Per-core dynamic power at full activity (for reporting).
+  /// Frequencies outside the DVFS table range are clamped to the
+  /// nearest operating point — the model has no data beyond the
+  /// table, and extrapolating C*V^2*f linearly past it silently
+  /// overstates draw (regression-tested at both boundaries).
   Watts core_power(Hertz freq) const;
+
+  /// Dynamic energy of holding `load` over [t0, t1) under a
+  /// time-varying frequency plan: the per-segment sum of
+  /// dynamic_power(load, seg.freq) * overlap(seg, [t0, t1)). A
+  /// single-segment plan reduces exactly to
+  /// dynamic_power(load, f) * (t1 - t0).
+  Joules dynamic_energy_over(const SystemLoad& load, const FreqPlan& plan, Seconds t0,
+                             Seconds t1) const;
+
+  /// Modeled whole-node draw with `active_cores` busy at `freq` — the
+  /// quantity the rack power-cap loop meters and throttles on: idle
+  /// floor + fully-active cores + uncore + DRAM background. Excludes
+  /// the traffic-dependent DRAM/disk terms, which the cap loop cannot
+  /// know ahead of a task's execution; the cap is therefore on the
+  /// CPU-side envelope a RAPL domain actually controls.
+  Watts node_draw(int active_cores, Hertz freq) const;
 
  private:
   /// Activity factor: a core running low-IPC code clocks fewer units.

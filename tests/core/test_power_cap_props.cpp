@@ -1,0 +1,192 @@
+// Randomized governor/cap property sweep (slow tier): many replays
+// under randomly drawn governors, control periods, thresholds and cap
+// budgets, asserting the invariants the runtime promises no matter
+// the draw:
+//
+//   cap        — the modeled rack draw never exceeds the cap at any
+//                event timestamp (peak_draw <= cap, cap_exceeded
+//                stays false);
+//   energy     — the metered integral is conserved within physical
+//                bounds: at least the idle floor over the replayed
+//                timeline, at most the observed peak over the replay
+//                plus one trailing control period;
+//   liveness   — every admissible run drains the whole queue;
+//   timelines  — every recorded node plan is well-formed (ascending
+//                segment starts, frequencies inside the node's DVFS
+//                table) and every frequency move is counted.
+#include "core/cluster_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bvl::core {
+namespace {
+
+Characterizer& shared_ch() {
+  static Characterizer ch;  // trace cache shared across the suite
+  return ch;
+}
+
+std::vector<JobRequest> small_mix() {
+  return {{wl::WorkloadId::kWordCount, 1 * GB},
+          {wl::WorkloadId::kSort, 1 * GB},
+          {wl::WorkloadId::kGrep, 1 * GB},
+          {wl::WorkloadId::kTeraSort, 1 * GB}};
+}
+
+Watts idle_total(const std::vector<NodeSpec>& rack) {
+  Watts w = 0;
+  for (const auto& spec : rack) w += spec.server.power.system_idle_w * spec.count;
+  return w;
+}
+
+/// The runtime's own admissibility floor: idle rack plus one task at
+/// the bottom level on the hungriest node type (mirrors the liveness
+/// require in the PowerRuntime constructor).
+Watts liveness_floor(const std::vector<NodeSpec>& rack) {
+  Watts max_delta = 0;
+  for (const auto& spec : rack) {
+    power::PowerModel model(spec.server);
+    Hertz fmin = spec.server.dvfs.min_freq();
+    max_delta = std::max(max_delta, model.node_draw(1, fmin) - model.node_draw(0, fmin));
+  }
+  return idle_total(rack) + max_delta;
+}
+
+void check_invariants(const MixResult& r, const std::vector<NodeSpec>& rack,
+                      const power::PowerPlanSpec& spec, const std::string& label) {
+  ASSERT_TRUE(r.power.active) << label;
+  EXPECT_FALSE(r.power.cap_exceeded) << label;
+  if (spec.rack_cap_w > 0) {
+    EXPECT_LE(r.power.peak_draw, spec.rack_cap_w * (1 + 1e-9)) << label;
+  }
+
+  // Liveness: the whole queue drained.
+  ASSERT_EQ(r.schedule.size(), small_mix().size()) << label;
+  for (const auto& s : r.schedule) EXPECT_GT(s.finish, s.start) << label;
+
+  // Energy conservation: the metered integral brackets between the
+  // idle floor and the peak draw over the replay window. The reported
+  // makespan adds each job's analytic setup/cleanup tail past the
+  // event timeline the meter integrates, so the floor gets a 2% slack;
+  // the ceiling allows the trailing governor tick (at most one control
+  // period past the last event).
+  Watts idle = idle_total(rack);
+  EXPECT_GE(r.power.peak_draw, idle * (1 - 1e-9)) << label;
+  EXPECT_GE(r.power.metered_energy, idle * r.makespan * 0.98) << label;
+  EXPECT_LE(r.power.metered_energy,
+            r.power.peak_draw * (r.makespan + spec.period_s) * (1 + 1e-9))
+      << label;
+
+  // Well-formed recorded timelines; every move counted.
+  std::size_t nodes = 0;
+  for (const auto& ns : rack) nodes += static_cast<std::size_t>(ns.count);
+  ASSERT_EQ(r.power.node_plans.size(), nodes) << label;
+  int appended = 0;
+  std::size_t flat = 0;
+  for (const auto& ns : rack) {
+    const arch::DvfsTable& table = ns.server.dvfs;
+    for (int i = 0; i < ns.count; ++i, ++flat) {
+      const auto& plan = r.power.node_plans[flat];
+      Seconds prev = -1;
+      for (const auto& seg : plan.segments()) {
+        EXPECT_GT(seg.start, prev) << label << " node " << flat;
+        EXPECT_GE(seg.freq, table.min_freq() * (1 - 1e-12)) << label << " node " << flat;
+        EXPECT_LE(seg.freq, table.max_freq() * (1 + 1e-12)) << label << " node " << flat;
+        prev = seg.start;
+      }
+      appended += static_cast<int>(plan.segments().size()) - 1;
+    }
+  }
+  // Every surviving segment boundary is a counted move; the count can
+  // exceed the boundaries because cap admission may step a node down
+  // several levels at one timestamp (the plan keeps only the last) and
+  // a down-then-up pair landing on the same frequency coalesces away.
+  EXPECT_LE(appended, r.power.level_changes) << label;
+}
+
+TEST(PowerCapProps, RandomizedGovernorAndCapSweepHoldsEveryInvariant) {
+  Pcg32 rng(20260808, 0xca9);
+  auto racks = comparison_racks(4);
+  const std::vector<std::string> rack_names{"all-big", "all-little", "hetero"};
+  const power::GovernorKind kinds[] = {
+      power::GovernorKind::kNone, power::GovernorKind::kPerformance,
+      power::GovernorKind::kPowersave, power::GovernorKind::kOndemand};
+
+  // Uncapped peaks per rack scale the random cap draws so roughly
+  // half of them bind.
+  std::vector<Watts> peak(racks.size());
+  for (std::size_t r = 0; r < racks.size(); ++r) {
+    MixOptions opts;
+    opts.power.rack_cap_w = 1e9;
+    peak[r] = simulate_mix(shared_ch(), small_mix(), racks[r], MixPolicy::kEarliestFinish, 0,
+                           opts)
+                  .power.peak_draw;
+    ASSERT_GT(peak[r], idle_total(racks[r]));
+  }
+
+  constexpr int kRuns = 36;
+  for (int i = 0; i < kRuns; ++i) {
+    std::size_t r = static_cast<std::size_t>(rng.uniform(0, 2));
+    power::PowerPlanSpec spec;
+    spec.governor = kinds[rng.uniform(0, 3)];
+    spec.period_s = rng.uniform_real(0.25, 4.0);
+    spec.up_threshold = rng.uniform_real(0.55, 0.9);
+    spec.down_threshold = rng.uniform_real(0.05, 0.4);
+    if (rng.chance(0.7)) {
+      // A cap drawn between just above the liveness floor and just
+      // above the uncapped peak: some bind hard, some never bind.
+      Watts lo = liveness_floor(racks[r]) * 1.02;
+      Watts hi = peak[r] * 1.05;
+      spec.rack_cap_w = rng.uniform_real(lo, hi);
+    }
+    if (!spec.active()) spec.rack_cap_w = peak[r];  // keep the runtime engaged
+
+    MixOptions opts;
+    opts.power = spec;
+    MixPolicy policy =
+        rng.chance(0.5) ? MixPolicy::kEarliestFinish : MixPolicy::kClassAware;
+    MixResult res =
+        simulate_mix(shared_ch(), small_mix(), racks[r], policy, 0, opts);
+    std::string label = rack_names[r] + "/" + power::to_string(spec.governor) +
+                        (spec.rack_cap_w > 0 ? "/capped" : "/uncapped") + "/run" +
+                        std::to_string(i);
+    check_invariants(res, racks[r], spec, label);
+  }
+}
+
+TEST(PowerCapProps, CappedServiceStreamHoldsTheInvariant) {
+  // The open stream exercises admission deferral under churn: random
+  // governors and binding caps over a Poisson arrival stream.
+  Pcg32 rng(7, 0xca91);
+  TenantWorkload t;
+  t.tenant = {"batch", 1.0, 0, 1.0};
+  t.mix = {{wl::WorkloadId::kWordCount, 1 * GB}, {wl::WorkloadId::kGrep, 1 * GB}};
+  auto rack = comparison_racks(4)[2];
+
+  ServiceOptions probe;
+  probe.arrival_rate = 0.02;
+  probe.horizon = 1800.0;
+  probe.mix.power.rack_cap_w = 1e9;
+  Watts peak = simulate_service(shared_ch(), {t}, rack, probe).power.peak_draw;
+
+  for (int i = 0; i < 6; ++i) {
+    ServiceOptions opts = probe;
+    opts.seed = static_cast<std::uint64_t>(i + 1);
+    opts.mix.power.governor =
+        i % 2 == 0 ? power::GovernorKind::kOndemand : power::GovernorKind::kNone;
+    Watts lo = liveness_floor(rack) * 1.02;
+    opts.mix.power.rack_cap_w = rng.uniform_real(lo, peak * 1.02);
+    ServiceResult r = simulate_service(shared_ch(), {t}, rack, opts);
+    EXPECT_FALSE(r.power.cap_exceeded) << "run " << i;
+    EXPECT_LE(r.power.peak_draw, opts.mix.power.rack_cap_w * (1 + 1e-9)) << "run " << i;
+    EXPECT_GT(r.power.metered_energy, 0) << "run " << i;
+  }
+}
+
+}  // namespace
+}  // namespace bvl::core

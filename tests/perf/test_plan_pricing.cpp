@@ -1,0 +1,168 @@
+// Plan pricing differential tests. The contract (perf/pricer.hpp):
+// a single-segment FreqPlan is the paper's static knob and must
+// reprice every workload BIT-identically to the scalar path — the
+// refactor is a strict superset of the old model, not a
+// reinterpretation. Multi-segment plans drop the analytic floors
+// (once frequency moves under a job the timeline is authoritative),
+// so for them we pin ordering/bracketing properties plus the pure
+// mid-flight rescaling rule (plan_compute_finish) exactly.
+#include "perf/pricer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "core/characterizer.hpp"
+#include "power/freq_plan.hpp"
+#include "util/error.hpp"
+#include "workloads/registry.hpp"
+
+namespace bvl::perf {
+namespace {
+
+core::Characterizer& shared_ch() {
+  static core::Characterizer ch;  // trace cache shared across the suite
+  return ch;
+}
+
+void expect_phase_identical(const PhaseResult& a, const PhaseResult& b,
+                            const std::string& label) {
+  EXPECT_EQ(a.time, b.time) << label;
+  EXPECT_EQ(a.cpu_time, b.cpu_time) << label;
+  EXPECT_EQ(a.io_time, b.io_time) << label;
+  EXPECT_EQ(a.net_time, b.net_time) << label;
+  EXPECT_EQ(a.dynamic_power, b.dynamic_power) << label;
+  EXPECT_EQ(a.energy, b.energy) << label;
+  EXPECT_EQ(a.avg_ipc, b.avg_ipc) << label;
+}
+
+void expect_bit_identical(const RunResult& a, const RunResult& b, const std::string& label) {
+  EXPECT_EQ(a.workload, b.workload) << label;
+  EXPECT_EQ(a.server, b.server) << label;
+  EXPECT_EQ(a.freq, b.freq) << label;
+  expect_phase_identical(a.map, b.map, label + "/map");
+  expect_phase_identical(a.reduce, b.reduce, label + "/reduce");
+  expect_phase_identical(a.other, b.other, label + "/other");
+}
+
+TEST(PlanPricing, SingleSegmentPlanIsBitIdenticalToScalarPath) {
+  // Every workload x both servers at a non-default frequency: the
+  // degenerate plan must take the scalar path, not approximate it.
+  for (wl::WorkloadId id : wl::all_workloads()) {
+    core::RunSpec spec;
+    spec.workload = id;
+    const mr::JobTrace& trace = shared_ch().trace(spec);
+    for (const auto& server : arch::paper_servers()) {
+      const EventPricer& ep = shared_ch().event_pricer(server);
+      for (Hertz f : {1.4 * GHz, 1.8 * GHz}) {
+        RunResult scalar = ep.price(trace, f, spec.mappers);
+        RunResult planned = ep.price(trace, power::FreqPlan::constant(f), spec.mappers);
+        expect_bit_identical(scalar, planned,
+                             wl::short_name(id) + "/" + server.name + "/" +
+                                 std::to_string(f / GHz));
+      }
+    }
+  }
+}
+
+TEST(PlanPricing, CoalescedPlanStillTakesTheScalarPath) {
+  // Two segments at the same frequency coalesce at construction, so
+  // the "plan" is single-segment and the guarantee must hold.
+  core::RunSpec spec;
+  const mr::JobTrace& trace = shared_ch().trace(spec);
+  const EventPricer& ep = shared_ch().event_pricer(arch::xeon_e5_2420());
+  power::FreqPlan plan({{0, 1.6 * GHz}, {100, 1.6 * GHz}});
+  ASSERT_TRUE(plan.single_segment());
+  expect_bit_identical(ep.price(trace, 1.6 * GHz, spec.mappers),
+                       ep.price(trace, plan, spec.mappers), "coalesced");
+}
+
+TEST(PlanPricing, EarlierDownshiftCanOnlySlowTheJob) {
+  // {1.8 GHz until t, then 1.2 GHz}: moving the downshift earlier is
+  // monotonically worse, brackets between the static endpoints, and a
+  // switch past the job's end leaves the high-frequency timeline.
+  core::RunSpec spec;
+  spec.workload = wl::WorkloadId::kSort;
+  const mr::JobTrace& trace = shared_ch().trace(spec);
+  const EventPricer& ep = shared_ch().event_pricer(arch::atom_c2758());
+
+  Seconds t_high = ep.price(trace, 1.8 * GHz, spec.mappers).total_time();
+  Seconds t_low = ep.price(trace, 1.2 * GHz, spec.mappers).total_time();
+  ASSERT_LT(t_high, t_low);
+
+  Seconds prev = std::numeric_limits<double>::infinity();
+  for (Seconds sw : {1.0, 30.0, 120.0, 1e9}) {
+    power::FreqPlan plan({{0, 1.8 * GHz}, {sw, 1.2 * GHz}});
+    ASSERT_FALSE(plan.single_segment());
+    Seconds t = ep.price(trace, plan, spec.mappers).total_time();
+    EXPECT_LE(t, prev * (1 + 1e-9)) << "switch@" << sw;
+    // Bracketed by the static endpoints. The multi-segment path drops
+    // the analytic floors, so the un-floored replay may undershoot
+    // the floored static-high time slightly — hence the 5% slack on
+    // the lower bound (the same agreement tolerance the two pricers
+    // are held to); the static-low ceiling is strict.
+    EXPECT_GE(t, t_high * 0.95) << "switch@" << sw;
+    EXPECT_LE(t, t_low * (1 + 1e-9)) << "switch@" << sw;
+    prev = t;
+  }
+  // A switch the job never reaches replays the high-frequency
+  // timeline (floors dropped, so compare the un-floored replay).
+  power::FreqPlan past({{0, 1.8 * GHz}, {1e9, 1.2 * GHz}});
+  Seconds t_past = ep.price(trace, past, spec.mappers).total_time();
+  EXPECT_LE(t_past, t_high * (1 + 1e-9));
+}
+
+TEST(PlanPricing, PlanResultCarriesTheInitialFrequency) {
+  core::RunSpec spec;
+  const mr::JobTrace& trace = shared_ch().trace(spec);
+  const EventPricer& ep = shared_ch().event_pricer(arch::xeon_e5_2420());
+  power::FreqPlan plan({{0, 1.4 * GHz}, {5, 1.8 * GHz}});
+  EXPECT_EQ(ep.price(trace, plan, spec.mappers).freq, 1.4 * GHz);
+}
+
+// ---------------------------------------------------------------------------
+// plan_compute_finish: the pure mid-flight rescaling rule
+// ---------------------------------------------------------------------------
+
+TEST(PlanComputeFinish, ConstantPlanIsStartPlusDuration) {
+  power::FreqPlan plan = power::FreqPlan::constant(1.8 * GHz);
+  auto dur = [](Hertz) -> Seconds { return 8.0; };
+  EXPECT_DOUBLE_EQ(plan_compute_finish(plan, 0, dur), 8.0);
+  EXPECT_DOUBLE_EQ(plan_compute_finish(plan, 42.5, dur), 50.5);
+}
+
+TEST(PlanComputeFinish, CarriesCompletedFractionAcrossBoundary) {
+  // 1.8 GHz until t=10, then 1.2 GHz. dur(1.8)=8, dur(1.2)=12.
+  // Start at 6: by the boundary 4/8 = 50% is done; the remaining 50%
+  // reprices to 0.5 * 12 = 6 more seconds -> finish at 16.
+  power::FreqPlan plan({{0, 1.8 * GHz}, {10, 1.2 * GHz}});
+  auto dur = [](Hertz f) -> Seconds { return f == 1.8 * GHz ? 8.0 : 12.0; };
+  EXPECT_DOUBLE_EQ(plan_compute_finish(plan, 6, dur), 16.0);
+  // Entirely inside one segment: no rescaling.
+  EXPECT_DOUBLE_EQ(plan_compute_finish(plan, 0, dur), 8.0);
+  EXPECT_DOUBLE_EQ(plan_compute_finish(plan, 20, dur), 32.0);
+}
+
+TEST(PlanComputeFinish, WalksMultipleBoundaries) {
+  // Three segments: dur 12 / 24 / 12. Start at 0 under the first
+  // segment (dur 12): at t=4, 1/3 done. Second segment (dur 24):
+  // needs 16 s for the remaining 2/3 but only 8 s remain until t=12,
+  // adding 8/24 = 1/3 -> 2/3 done. Third segment (dur 12): the last
+  // 1/3 takes 4 s -> finish at 16.
+  power::FreqPlan plan({{0, 1.8 * GHz}, {4, 1.2 * GHz}, {12, 1.8 * GHz}});
+  auto dur = [](Hertz f) -> Seconds { return f == 1.8 * GHz ? 12.0 : 24.0; };
+  EXPECT_DOUBLE_EQ(plan_compute_finish(plan, 0, dur), 16.0);
+}
+
+TEST(PlanComputeFinish, UpshiftShortensTheRemainder) {
+  // Slow first segment, fast after t=5. dur(1.2)=20, dur(1.8)=10.
+  // Start at 0: by t=5, 25% done; remaining 75% at dur 10 takes 7.5 s
+  // -> finish at 12.5, well before the 20 s the slow plan alone takes.
+  power::FreqPlan plan({{0, 1.2 * GHz}, {5, 1.8 * GHz}});
+  auto dur = [](Hertz f) -> Seconds { return f == 1.8 * GHz ? 10.0 : 20.0; };
+  EXPECT_DOUBLE_EQ(plan_compute_finish(plan, 0, dur), 12.5);
+}
+
+}  // namespace
+}  // namespace bvl::perf

@@ -1,0 +1,243 @@
+// FreqPlan, the governor decision rule, and the DVFS level-stepping /
+// clamp edge cases the run-time frequency stack leans on. The plan's
+// single-segment degenerate case is additionally pinned bit-identical
+// to the scalar pricing path in tests/perf/test_plan_pricing.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "arch/server_config.hpp"
+#include "power/freq_plan.hpp"
+#include "power/governor.hpp"
+#include "power/power_model.hpp"
+#include "util/error.hpp"
+
+namespace bvl::power {
+namespace {
+
+arch::ServerConfig xeon() { return arch::xeon_e5_2420(); }
+arch::ServerConfig atom() { return arch::atom_c2758(); }
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// FreqPlan
+// ---------------------------------------------------------------------------
+
+TEST(FreqPlan, ConstantPlanIsSingleSegment) {
+  FreqPlan p = FreqPlan::constant(1.8 * GHz);
+  EXPECT_TRUE(p.single_segment());
+  EXPECT_EQ(p.freq_at(0), 1.8 * GHz);
+  EXPECT_EQ(p.freq_at(1e9), 1.8 * GHz);
+  EXPECT_EQ(p.next_change_after(0), kInf);
+  EXPECT_EQ(p.min_freq(), 1.8 * GHz);
+  EXPECT_EQ(p.max_freq(), 1.8 * GHz);
+  EXPECT_EQ(p.label(), "1.8GHz");
+}
+
+TEST(FreqPlan, SegmentsSelectByTime) {
+  FreqPlan p({{0, 1.8 * GHz}, {10, 1.2 * GHz}, {25, 1.6 * GHz}});
+  EXPECT_FALSE(p.single_segment());
+  EXPECT_EQ(p.freq_at(0), 1.8 * GHz);
+  EXPECT_EQ(p.freq_at(9.999), 1.8 * GHz);
+  EXPECT_EQ(p.freq_at(10), 1.2 * GHz);   // boundary belongs to the new segment
+  EXPECT_EQ(p.freq_at(24.999), 1.2 * GHz);
+  EXPECT_EQ(p.freq_at(25), 1.6 * GHz);
+  EXPECT_EQ(p.freq_at(1e6), 1.6 * GHz);
+  EXPECT_EQ(p.next_change_after(0), 10.0);
+  EXPECT_EQ(p.next_change_after(10), 25.0);
+  EXPECT_EQ(p.next_change_after(25), kInf);
+  EXPECT_EQ(p.min_freq(), 1.2 * GHz);
+  EXPECT_EQ(p.max_freq(), 1.8 * GHz);
+}
+
+TEST(FreqPlan, EqualFrequencyAdjacentsCoalesce) {
+  // A "two-segment" plan that never changes frequency IS the static
+  // plan and must take the single-segment fast path everywhere.
+  FreqPlan p({{0, 1.4 * GHz}, {7, 1.4 * GHz}});
+  EXPECT_TRUE(p.single_segment());
+  EXPECT_EQ(p.cache_key(), FreqPlan::constant(1.4 * GHz).cache_key());
+}
+
+TEST(FreqPlan, RejectsMalformedSegmentLists) {
+  EXPECT_THROW(FreqPlan({}), Error);                                 // empty
+  EXPECT_THROW(FreqPlan({{1, 1.2 * GHz}}), Error);                   // first start != 0
+  EXPECT_THROW(FreqPlan({{0, 1.2 * GHz}, {0, 1.4 * GHz}}), Error);   // not ascending
+  EXPECT_THROW(FreqPlan({{0, 1.4 * GHz}, {5, 0}}), Error);           // non-positive freq
+}
+
+TEST(FreqPlan, AppendGrowsReplacesAndCoalesces) {
+  FreqPlan p = FreqPlan::constant(1.8 * GHz);
+  p.append(5, 1.4 * GHz);  // grows
+  EXPECT_EQ(p.segments().size(), 2u);
+  p.append(5, 1.2 * GHz);  // same-time append replaces the last segment
+  EXPECT_EQ(p.segments().size(), 2u);
+  EXPECT_EQ(p.freq_at(5), 1.2 * GHz);
+  p.append(9, 1.2 * GHz);  // equal-frequency append coalesces
+  EXPECT_EQ(p.segments().size(), 2u);
+  EXPECT_EQ(p.label(), "1.8GHz(+1seg)");
+  EXPECT_THROW(p.append(2, 1.6 * GHz), Error);  // start before last segment
+}
+
+TEST(FreqPlan, CacheKeyDistinguishesPlans) {
+  std::set<std::uint64_t> keys;
+  keys.insert(FreqPlan::constant(1.2 * GHz).cache_key());
+  keys.insert(FreqPlan::constant(1.8 * GHz).cache_key());
+  keys.insert(FreqPlan({{0, 1.8 * GHz}, {10, 1.2 * GHz}}).cache_key());
+  keys.insert(FreqPlan({{0, 1.8 * GHz}, {11, 1.2 * GHz}}).cache_key());
+  keys.insert(FreqPlan({{0, 1.2 * GHz}, {10, 1.8 * GHz}}).cache_key());
+  EXPECT_EQ(keys.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Governor decision rule
+// ---------------------------------------------------------------------------
+
+TEST(Governor, StaticAndPinnedKinds) {
+  PowerPlanSpec none;  // kNone
+  EXPECT_FALSE(none.active());
+  EXPECT_EQ(govern_level(none, 1, 4, 0.0), 3);  // kNone requests top (base handled by caller)
+
+  PowerPlanSpec perf;
+  perf.governor = GovernorKind::kPerformance;
+  EXPECT_TRUE(perf.active());
+  EXPECT_EQ(govern_level(perf, 0, 4, 0.0), 3);
+  EXPECT_EQ(govern_level(perf, 3, 4, 1.0), 3);
+
+  PowerPlanSpec save;
+  save.governor = GovernorKind::kPowersave;
+  EXPECT_EQ(govern_level(save, 3, 4, 1.0), 0);
+}
+
+TEST(Governor, OndemandStepsOneLevelOnThresholds) {
+  PowerPlanSpec od;
+  od.governor = GovernorKind::kOndemand;  // up 0.7 / down 0.3 defaults
+  EXPECT_EQ(govern_level(od, 1, 4, 0.8), 2);   // above up_threshold: +1
+  EXPECT_EQ(govern_level(od, 3, 4, 0.9), 3);   // clamped at top
+  EXPECT_EQ(govern_level(od, 2, 4, 0.5), 2);   // inside band: hold
+  EXPECT_EQ(govern_level(od, 2, 4, 0.1), 1);   // below down_threshold: -1
+  EXPECT_EQ(govern_level(od, 0, 4, 0.0), 0);   // clamped at bottom
+}
+
+TEST(Governor, CacheKeyDistinguishesSpecs) {
+  // Satellite of the characterizer-cache plumbing: two distinct plans
+  // must never alias one cache entry.
+  std::set<std::uint64_t> keys;
+  PowerPlanSpec a;
+  a.governor = GovernorKind::kOndemand;
+  keys.insert(a.cache_key());
+  PowerPlanSpec b = a;
+  b.governor = GovernorKind::kPowersave;
+  keys.insert(b.cache_key());
+  PowerPlanSpec c = a;
+  c.rack_cap_w = 500;
+  keys.insert(c.cache_key());
+  PowerPlanSpec d = c;
+  d.rack_cap_w = 600;
+  keys.insert(d.cache_key());
+  PowerPlanSpec e = a;
+  e.period_s = 2.0;
+  keys.insert(e.cache_key());
+  PowerPlanSpec f = a;
+  f.up_threshold = 0.8;
+  keys.insert(f.cache_key());
+  PowerPlanSpec g = a;
+  g.down_threshold = 0.2;
+  keys.insert(g.cache_key());
+  EXPECT_EQ(keys.size(), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// DVFS clamp / level stepping / voltage edge cases
+// ---------------------------------------------------------------------------
+
+TEST(Dvfs, ClampPinsOutOfRangeFrequencies) {
+  const arch::DvfsTable& t = xeon().dvfs;
+  EXPECT_EQ(t.clamp(0.5 * GHz), t.min_freq());
+  EXPECT_EQ(t.clamp(9.9 * GHz), t.max_freq());
+  EXPECT_EQ(t.clamp(t.min_freq()), t.min_freq());  // boundary is a fixed point
+  EXPECT_EQ(t.clamp(t.max_freq()), t.max_freq());
+  EXPECT_EQ(t.clamp(1.5 * GHz), 1.5 * GHz);        // interior passes through
+}
+
+TEST(Dvfs, LevelsEnumerateThePaperSweep) {
+  const arch::DvfsTable& t = atom().dvfs;
+  ASSERT_EQ(t.levels(), 4);
+  EXPECT_EQ(t.level_freq(0), t.min_freq());
+  EXPECT_EQ(t.level_freq(t.levels() - 1), t.max_freq());
+  EXPECT_EQ(t.level_of(1.2 * GHz), 0);
+  EXPECT_EQ(t.level_of(1.8 * GHz), 3);
+  EXPECT_EQ(t.level_of(1.3 * GHz), 1);  // ties round up
+  EXPECT_EQ(t.level_of(0.1 * GHz), 0);  // clamped below
+  EXPECT_EQ(t.level_of(9.0 * GHz), 3);  // clamped above
+}
+
+TEST(Dvfs, StepDownAndUpClampAtTableEnds) {
+  const arch::DvfsTable& t = xeon().dvfs;
+  EXPECT_EQ(t.step_down(1.8 * GHz), 1.6 * GHz);
+  EXPECT_EQ(t.step_up(1.2 * GHz), 1.4 * GHz);
+  EXPECT_EQ(t.step_down(t.min_freq()), t.min_freq());
+  EXPECT_EQ(t.step_up(t.max_freq()), t.max_freq());
+}
+
+TEST(Dvfs, VoltageAtRejectsNonPositiveAndNonFinite) {
+  const arch::DvfsTable& t = xeon().dvfs;
+  EXPECT_THROW(t.voltage_at(0), Error);
+  EXPECT_THROW(t.voltage_at(-1.0 * GHz), Error);
+  EXPECT_THROW(t.voltage_at(std::numeric_limits<double>::quiet_NaN()), Error);
+  EXPECT_THROW(t.voltage_at(kInf), Error);
+  // Clamps (not extrapolates) outside the table range.
+  EXPECT_EQ(t.voltage_at(0.1 * GHz), t.voltage_at(t.min_freq()));
+  EXPECT_EQ(t.voltage_at(99 * GHz), t.voltage_at(t.max_freq()));
+}
+
+TEST(PowerModelClamp, CorePowerClampsAtBothTableBoundaries) {
+  for (const auto& server : {xeon(), atom()}) {
+    PowerModel p(server);
+    const arch::DvfsTable& t = server.dvfs;
+    // Below min and above max pin to the boundary operating points —
+    // no silent linear extrapolation of C*V^2*f past the table.
+    EXPECT_EQ(p.core_power(0.3 * GHz), p.core_power(t.min_freq())) << server.name;
+    EXPECT_EQ(p.core_power(25 * GHz), p.core_power(t.max_freq())) << server.name;
+    // And the clamp is monotone across the boundary: an interior
+    // point never prices above the max-frequency point.
+    EXPECT_LE(p.core_power(1.5 * GHz), p.core_power(t.max_freq())) << server.name;
+    EXPECT_THROW(p.core_power(0), Error);
+    EXPECT_THROW(p.core_power(-1 * GHz), Error);
+  }
+}
+
+TEST(PowerModelPlan, DynamicEnergyOverSumsSegments) {
+  PowerModel p(atom());
+  SystemLoad load{.active_cores = 4, .avg_ipc = 1.0, .mem_gbps = 1.0, .disk_duty = 0.2};
+  FreqPlan plan({{0, 1.8 * GHz}, {10, 1.2 * GHz}});
+  // Single-segment reduces exactly to power * duration.
+  EXPECT_NEAR(p.dynamic_energy_over(load, FreqPlan::constant(1.6 * GHz), 3, 8),
+              p.dynamic_power(load, 1.6 * GHz) * 5, 1e-9);
+  // A window straddling the boundary splits at t=10.
+  Joules want = p.dynamic_power(load, 1.8 * GHz) * 4 + p.dynamic_power(load, 1.2 * GHz) * 6;
+  EXPECT_NEAR(p.dynamic_energy_over(load, plan, 6, 16), want, 1e-9);
+  // Windows entirely inside one segment see only that segment.
+  EXPECT_NEAR(p.dynamic_energy_over(load, plan, 12, 20),
+              p.dynamic_power(load, 1.2 * GHz) * 8, 1e-9);
+}
+
+TEST(PowerModelDraw, NodeDrawIsIdleFloorAtZeroCoresAndMonotone) {
+  for (const auto& server : {xeon(), atom()}) {
+    PowerModel p(server);
+    Hertz top = server.dvfs.max_freq(), bottom = server.dvfs.min_freq();
+    // No active cores: exactly the idle floor, at any frequency.
+    EXPECT_EQ(p.node_draw(0, top), p.idle_power()) << server.name;
+    EXPECT_EQ(p.node_draw(0, bottom), p.idle_power()) << server.name;
+    // More cores and higher frequency can only draw more.
+    EXPECT_GT(p.node_draw(1, top), p.node_draw(0, top)) << server.name;
+    EXPECT_GT(p.node_draw(server.cores, top), p.node_draw(1, top)) << server.name;
+    EXPECT_GT(p.node_draw(server.cores, top), p.node_draw(server.cores, bottom))
+        << server.name;
+  }
+}
+
+}  // namespace
+}  // namespace bvl::power
