@@ -6,10 +6,11 @@
 // than the historical one-binary-per-figure layout.
 //
 // usage: bvl_repro [--list] [--run ID]... [--all] [--check]
-//                  [--json DIR] [--csv DIR] [--threads N]
+//                  [--json DIR] [--csv DIR] [--policy P] [--threads N]
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,9 @@ void print_help(const char* prog) {
   std::printf("                rows for every table of the selected figures)\n");
   std::printf("  --csv DIR     also write one DIR/<group>_<table>.csv per\n");
   std::printf("                table of the selected figures\n");
+  std::printf("  --policy P    override the placement policy of fabric-aware\n");
+  std::printf("                figures (class-aware, earliest-finish,\n");
+  std::printf("                round-robin, rack-local)\n");
   bench::print_shared_flag_help(prog);
 }
 
@@ -46,7 +50,7 @@ int main(int argc, char** argv) {
   figs::register_all_figures(registry);
 
   bool list = false, all = false, check = false, help = false;
-  std::string json_dir, csv_dir;
+  std::string json_dir, csv_dir, policy_name;
   std::vector<std::string> run_ids;
   bool bad_args = false;
   auto need_value = [&](int& i, const char* flag) -> const char* {
@@ -86,6 +90,7 @@ int main(int argc, char** argv) {
       if (r > 0) run_ids.push_back(run_id);
     } else if (valued(a, i, "--json", &json_dir) != 0) {
     } else if (valued(a, i, "--csv", &csv_dir) != 0) {
+    } else if (valued(a, i, "--policy", &policy_name) != 0) {
     } else if (match_flag(a, "--threads", nullptr) != FlagMatch::kNoMatch) {
       if (a == "--threads") ++i;  // value consumed by bench::init below
     } else if (match_flag(a, "--cache-dir", nullptr) != FlagMatch::kNoMatch) {
@@ -99,6 +104,17 @@ int main(int argc, char** argv) {
   if (help) {
     print_help(argv[0]);
     return 0;
+  }
+  std::optional<core::MixPolicy> policy_override;
+  if (!policy_name.empty()) {
+    policy_override = core::mix_policy_from_string(policy_name);
+    if (!policy_override.has_value()) {
+      std::fprintf(stderr,
+                   "%s: unknown policy '%s' (expected class-aware, earliest-finish, "
+                   "round-robin or rack-local)\n",
+                   argv[0], policy_name.c_str());
+      return 2;
+    }
   }
   bench::init(argc, argv);  // strict --threads handling
 
@@ -139,7 +155,7 @@ int main(int argc, char** argv) {
   }
 
   core::Characterizer& ch = bench::characterizer();
-  report::Context ctx{ch};
+  report::Context ctx{ch, policy_override};
   std::vector<report::MetricsRow> ledger;
   int failed = 0;
   for (std::size_t i = 0; i < groups.size(); ++i) {

@@ -21,6 +21,7 @@ void register_all_figures(report::FigureRegistry& r) {
   register_ablate(r);
   register_service(r);
   register_fabric(r);
+  register_fabric_crossover(r);
   register_powercap(r);
 }
 

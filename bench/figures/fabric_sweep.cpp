@@ -51,6 +51,10 @@ Report build(Context& ctx) {
   rep.notes =
       "two-rack leaf-spine; inf = infinite fabric (pre-fabric analytic NIC term);\n"
       "s:1 = modeled fabric, spine carries 1/s of the hosts' aggregate NIC rate";
+  const core::MixPolicy policy = ctx.policy.value_or(core::MixPolicy::kEarliestFinish);
+  if (ctx.policy.has_value()) {
+    rep.notes += "\npolicy override (--policy): " + core::to_string(policy);
+  }
 
   auto racks = core::comparison_racks(4);
   const std::vector<std::string> rack_names{"all-big", "all-little", "hetero"};
@@ -63,8 +67,7 @@ Report build(Context& ctx) {
   std::vector<std::vector<core::MixResult>> results(racks.size());
   for (std::size_t r = 0; r < racks.size(); ++r) {
     auto run = [&](const core::MixOptions& opts) {
-      return core::simulate_mix(ctx.ch, jobs, racks[r], core::MixPolicy::kEarliestFinish, 0,
-                                opts);
+      return core::simulate_mix(ctx.ch, jobs, racks[r], policy, 0, opts);
     };
     auto add_row = [&](const char* spine, const core::MixResult& res) {
       int split = 0;

@@ -25,6 +25,7 @@ void register_table3(report::FigureRegistry& r);
 void register_ablate(report::FigureRegistry& r);
 void register_service(report::FigureRegistry& r);
 void register_fabric(report::FigureRegistry& r);
+void register_fabric_crossover(report::FigureRegistry& r);
 void register_powercap(report::FigureRegistry& r);
 
 /// Registers the full paper evaluation: figs. 1-17, Table 3 and the

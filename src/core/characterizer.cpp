@@ -17,7 +17,8 @@ Characterizer::Characterizer(hdfs::DfsConfig dfs, perf::ClusterConfig cluster,
 Characterizer::Key Characterizer::key_of(const RunSpec& spec) const {
   return {static_cast<int>(spec.workload), spec.input_size, spec.block_size, spec.num_reducers,
           spec.use_combiner, spec.fault.active() ? spec.fault.cache_key() : 0,
-          spec.power.active() ? spec.power.cache_key() : 0};
+          spec.power.active() ? spec.power.cache_key() : 0, static_cast<int>(spec.nic),
+          static_cast<int>(spec.placement)};
 }
 
 std::string Characterizer::disk_key(const RunSpec& spec) const {
@@ -25,16 +26,17 @@ std::string Characterizer::disk_key(const RunSpec& spec) const {
   // target, seed) the in-memory key can leave implicit because it
   // never outlives the instance. Human-readable on purpose: the string
   // is embedded verbatim in the cache file as the collision guard.
-  char buf[192];
+  char buf[224];
   std::snprintf(buf, sizeof buf,
-                "wl=%d in=%llu blk=%llu red=%d comb=%d fault=%llu power=%llu target=%llu "
-                "seed=%llu",
+                "wl=%d in=%llu blk=%llu red=%d comb=%d fault=%llu power=%llu nic=%d place=%d "
+                "target=%llu seed=%llu",
                 static_cast<int>(spec.workload),
                 static_cast<unsigned long long>(spec.input_size),
                 static_cast<unsigned long long>(spec.block_size), spec.num_reducers,
                 spec.use_combiner ? 1 : 0,
                 static_cast<unsigned long long>(spec.fault.active() ? spec.fault.cache_key() : 0),
                 static_cast<unsigned long long>(spec.power.active() ? spec.power.cache_key() : 0),
+                static_cast<int>(spec.nic), static_cast<int>(spec.placement),
                 static_cast<unsigned long long>(target_exec_),
                 static_cast<unsigned long long>(seed_));
   return buf;
@@ -109,6 +111,25 @@ const perf::Pricer& Characterizer::pricer(const arch::ServerConfig& server,
 
 const perf::EventPricer& Characterizer::event_pricer(const arch::ServerConfig& server) {
   return static_cast<const perf::EventPricer&>(pricer(server, perf::PricerKind::kEvent));
+}
+
+const perf::EventPricer& Characterizer::event_pricer(const arch::ServerConfig& server,
+                                                     sim::NicPresetId nic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Packed alongside the kind so the identity preset (k1GbE == 0)
+  // lands on the plain kEvent entry — default callers share one
+  // pricer with the preset-aware path.
+  auto key = std::make_pair(
+      server.name, static_cast<int>(perf::PricerKind::kEvent) + 256 * static_cast<int>(nic));
+  auto it = pricers_.find(key);
+  if (it == pricers_.end()) {
+    perf::EventOptions opts;
+    opts.fabric.nic_preset = nic;
+    it = pricers_
+             .emplace(key, std::make_unique<perf::EventPricer>(server, dfs_, cluster_, opts))
+             .first;
+  }
+  return static_cast<const perf::EventPricer&>(*it->second);
 }
 
 perf::RunResult Characterizer::run(const RunSpec& spec, const arch::ServerConfig& server) {

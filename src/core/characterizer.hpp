@@ -13,10 +13,12 @@
 
 #include "arch/server_config.hpp"
 #include "core/char_cache.hpp"
+#include "core/placement/policy.hpp"
 #include "mapreduce/engine.hpp"
 #include "perf/perf_model.hpp"
 #include "perf/pricer.hpp"
 #include "power/governor.hpp"
+#include "sim/network/nic_preset.hpp"
 #include "workloads/registry.hpp"
 
 namespace bvl::core {
@@ -51,6 +53,15 @@ struct RunSpec {
   /// independent (the plan shapes replay, and future characterization
   /// layers may consume it).
   power::PowerPlanSpec power;
+
+  /// NIC preset and placement policy the run is replayed under.
+  /// Neither shapes today's engine trace (like `power`, they live in
+  /// the replay layer), but both are folded into the cache keys the
+  /// same way: two specs differing only in fabric endpoints or in the
+  /// dispatcher placing their tasks must never alias one cache entry,
+  /// and future characterization layers may consume them directly.
+  sim::NicPresetId nic = sim::NicPresetId::k1GbE;
+  MixPolicy placement = MixPolicy::kClassAware;
 };
 
 class Characterizer {
@@ -83,6 +94,15 @@ class Characterizer {
   /// The event pricer, typed: cluster_sim needs its job_sim() surface.
   const perf::EventPricer& event_pricer(const arch::ServerConfig& server);
 
+  /// Same, with the server's NIC demands priced under an endpoint
+  /// preset (sim/network/nic_preset.hpp): per-task nic_svc_s and the
+  /// analytic net term use the preset's achievable rate instead of the
+  /// raw cluster line rate. kNic1GbE is the identity preset and shares
+  /// the default entry — callers passing the default get the same
+  /// pricer, bit for bit.
+  const perf::EventPricer& event_pricer(const arch::ServerConfig& server,
+                                        sim::NicPresetId nic);
+
   /// Convenience for the ubiquitous Atom-vs-Xeon pair.
   std::pair<perf::RunResult, perf::RunResult> run_pair(const RunSpec& spec);
 
@@ -110,7 +130,8 @@ class Characterizer {
   const perf::ClusterConfig& cluster_config() const { return cluster_; }
 
  private:
-  using Key = std::tuple<int, Bytes, Bytes, int, bool, std::uint64_t, std::uint64_t>;
+  using Key =
+      std::tuple<int, Bytes, Bytes, int, bool, std::uint64_t, std::uint64_t, int, int>;
   Key key_of(const RunSpec& spec) const;
   std::string disk_key(const RunSpec& spec) const;
 

@@ -75,6 +75,69 @@ Seconds est_task_duration(const perf::SimTask& t, const Node& n, Seconds now, Se
          t.backoff_s;
 }
 
+/// Scores one task on one node for the placement layer: the unified
+/// ETF signal (slot-wait delay plus estimated duration after that
+/// delay; free nodes contribute delay 0 so the sum is bit-identical
+/// to the historical free-node estimate).
+using EstFinishFn = std::function<Seconds(const TaskRef&, const Node&)>;
+
+/// Batch-replay candidate source: every node in flat order, the
+/// historical full-scan order the goldens pin (placement ties break
+/// to the first candidate).
+class FlatCandidateSource final : public placement::CandidateSource {
+ public:
+  FlatCandidateSource(const std::vector<Node>& nodes, std::vector<bool> is_big,
+                      std::vector<int> rack_of, EstFinishFn est_finish)
+      : nodes_(nodes),
+        is_big_(std::move(is_big)),
+        rack_(std::move(rack_of)),
+        est_(std::move(est_finish)) {}
+
+  /// Sets the task the next all()/at() calls score.
+  void bind(const TaskRef& tr) { cur_ = &tr; }
+
+  const std::vector<placement::Candidate>& all() override {
+    scratch_.clear();
+    scratch_.reserve(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) scratch_.push_back(make(i));
+    return scratch_;
+  }
+
+  placement::Candidate at(std::size_t flat) override { return make(flat); }
+
+ private:
+  placement::Candidate make(std::size_t i) {
+    const Node& n = nodes_[i];
+    return {i, is_big_[i], n.has_free_slot(), rack_[i], est_(*cur_, n)};
+  }
+
+  const std::vector<Node>& nodes_;
+  std::vector<bool> is_big_;
+  std::vector<int> rack_;
+  EstFinishFn est_;
+  const TaskRef* cur_ = nullptr;
+  std::vector<placement::Candidate> scratch_;
+};
+
+/// Per-node big-class flags and fabric rack ids for the candidate
+/// sources (rack 0 everywhere when no fabric is modeled).
+std::vector<bool> big_flags(const std::vector<Node>& nodes) {
+  const std::string big = arch::xeon_e5_2420().name;
+  std::vector<bool> flags(nodes.size(), false);
+  for (std::size_t i = 0; i < nodes.size(); ++i) flags[i] = nodes[i].server->name == big;
+  return flags;
+}
+
+std::vector<int> rack_ids(const std::vector<Node>& nodes, const sim::Fabric* fabric) {
+  std::vector<int> racks(nodes.size(), 0);
+  if (fabric != nullptr) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      racks[i] = fabric->rack_of(static_cast<int>(i));
+    }
+  }
+  return racks;
+}
+
 /// The rack's frequency-domain runtime: one DVFS level per node,
 /// stepped by the configured governor on a fixed control period and
 /// clamped by the rack power cap. Owns the in-flight compute legs so
@@ -339,6 +402,9 @@ struct JobState {
   /// Map tasks by flat node id — the shuffle source weights: a reduce
   /// fetches from each node in proportion to the maps it ran there.
   std::map<std::size_t, int> maps_by_node;
+  /// Total reduce-side fetch volume of the job (sum of reduce
+  /// net_bytes) — the locality stake a map placement commits.
+  double shuffle_bytes = 0;
 };
 
 /// Builds the modeled fabric for an expanded rack, or returns null
@@ -354,10 +420,12 @@ std::unique_ptr<sim::Fabric> make_fabric(sim::Simulation& sim, const MixOptions&
   if (topo.rack_of.empty()) topo = sim::Topology::single_rack(static_cast<int>(nodes.size()));
   require(topo.nodes() == static_cast<int>(nodes.size()),
           std::string(where) + ": fabric topology node count != rack node count");
+  const sim::NicPreset& preset = sim::nic_preset(opts.fabric.nic_preset);
+  preset.validate();
   std::vector<double> rates;
   rates.reserve(nodes.size());
   for (const Node& n : nodes) {
-    rates.push_back(cluster.net_mbps * 1e6 * n.server->network_efficiency);
+    rates.push_back(preset.endpoint_bytes_per_s(cluster.net_mbps, n.server->network_efficiency));
   }
   return std::make_unique<sim::Fabric>(sim, std::move(topo), std::move(rates));
 }
@@ -389,7 +457,11 @@ void replay_task_via_fabric(sim::Simulation& sim, sim::ServiceQueue& disk,
 sim::FabricStats fabric_stats_over(const sim::Fabric* fabric, Seconds window) {
   if (fabric == nullptr) return {};
   sim::FabricStats s = fabric->stats();
-  s.spine_utilization = window > 0 ? s.spine_busy_s / window : 0.0;
+  // spine_busy_s sums over every ECMP link, so full utilization of a
+  // k-link spine integrates to k * window (multiplying by 1.0 keeps
+  // the single-path figure bit-identical to the historical one).
+  const double links = s.spine_links > 0 ? static_cast<double>(s.spine_links) : 1.0;
+  s.spine_utilization = window > 0 ? s.spine_busy_s / (window * links) : 0.0;
   return s;
 }
 
@@ -398,15 +470,6 @@ sim::FabricStats fabric_stats_over(const sim::Fabric* fabric, Seconds window) {
 int task_slots_for(const arch::ServerConfig& server, const MixOptions& opts) {
   int cap = opts.slots_per_node > 0 ? opts.slots_per_node : kDefaultTaskSlotsPerNode;
   return std::max(1, std::min(server.cores, cap));
-}
-
-std::string to_string(MixPolicy p) {
-  switch (p) {
-    case MixPolicy::kClassAware: return "class-aware";
-    case MixPolicy::kEarliestFinish: return "earliest-finish";
-    case MixPolicy::kRoundRobin: return "round-robin";
-  }
-  throw Error("to_string(MixPolicy): unknown policy");
 }
 
 double MixResult::edxp(int x) const { return edxp_value(total_energy, makespan, x); }
@@ -487,7 +550,8 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
       const mr::JobTrace& trace = ch.trace(spec);
       profiles.emplace(
           std::make_tuple(static_cast<int>(spec.workload), spec.input_size, static_cast<int>(t)),
-          ch.event_pricer(*types[t]).job_sim(trace, spec.freq, task_slots_for(*types[t], opts)));
+          ch.event_pricer(*types[t], opts.fabric.nic_preset)
+              .job_sim(trace, spec.freq, task_slots_for(*types[t], opts)));
     }
   }
 
@@ -504,8 +568,9 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
           level_profiles.emplace(
               std::make_tuple(static_cast<int>(spec.workload), spec.input_size,
                               static_cast<int>(t), lvl),
-              ch.event_pricer(*types[t]).job_sim(trace, types[t]->dvfs.level_freq(lvl),
-                                                 task_slots_for(*types[t], opts)));
+              ch.event_pricer(*types[t], opts.fabric.nic_preset)
+                  .job_sim(trace, types[t]->dvfs.level_freq(lvl),
+                           task_slots_for(*types[t], opts)));
         }
       }
     }
@@ -537,6 +602,7 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
       }
     }
     js.nmaps = static_cast<int>(js.profile[0]->map_tasks.size());
+    for (const perf::SimTask& rt : js.profile[0]->reduce_tasks) js.shuffle_bytes += rt.net_bytes;
     js.slowstart_after = std::min(
         js.nmaps,
         static_cast<int>(std::ceil(opts.reduce_slowstart * static_cast<double>(js.nmaps))));
@@ -566,45 +632,33 @@ MixResult simulate_mix(Characterizer& ch, const std::vector<JobRequest>& jobs,
     return delay + est_duration(tr, n, delay);
   };
 
-  const std::string big = arch::xeon_e5_2420().name;
-  // nullptr = nothing suitable free; a full `best` = defer the task
+  // The pluggable placement layer: the policy object scores the
+  // candidates this source enumerates (flat order — the historical
+  // scan order, so ties land on the same node the inline code chose).
+  // nullptr = nothing suitable free; a full pick = defer the task
   // until a completion re-runs dispatch (safe: a full node implies a
   // running task whose completion re-enters the dispatcher).
-  auto pick_node = [&](const TaskRef& tr) -> Node* {
-    if (policy == MixPolicy::kRoundRobin) {
-      Node& n = nodes[tr.rr_node];
-      return n.has_free_slot() ? &n : nullptr;
-    }
+  std::unique_ptr<placement::PlacementPolicy> placement_policy =
+      placement::make_placement_policy(policy, fabric.get());
+  FlatCandidateSource candidates(nodes, big_flags(nodes), rack_ids(nodes, fabric.get()),
+                                 est_finish);
+  auto task_context = [&](const TaskRef& tr) {
     const JobState& js = states[tr.job];
-    Node* best = nullptr;
-    Seconds best_est = std::numeric_limits<double>::infinity();
-    auto consider = [&](Node& n) {
-      Seconds est = est_finish(tr, n);
-      if (est < best_est) {
-        best_est = est;
-        best = &n;
-      }
-    };
-    if (policy == MixPolicy::kClassAware) {
-      // Paper policy, task-granular: a free slot on the job's
-      // class-preferred type always wins. Only when the preferred
-      // side is saturated does the dispatcher weigh waiting for a
-      // preferred slot (ETF) against spilling to a free slot of the
-      // other type — so sustained pressure splits a job across big
-      // and little, but speed alone never overrides the class label.
-      for (Node& n : nodes) {
-        bool is_big = n.server->name == big;
-        if (is_big == js.prefers_big && n.has_free_slot()) consider(n);
-      }
-      if (best != nullptr) return best;
-      for (Node& n : nodes) {
-        bool is_big = n.server->name == big;
-        if (is_big == js.prefers_big || n.has_free_slot()) consider(n);
-      }
-    } else {
-      for (Node& n : nodes) consider(n);
-    }
-    return best;
+    placement::TaskContext tc;
+    tc.phase = tr.phase;
+    tc.prefers_big = js.prefers_big;
+    tc.rr_node = tr.rr_node;
+    tc.now = sim.now();
+    tc.net_bytes = task_for(tr, 0).net_bytes;
+    tc.job_shuffle_bytes = js.shuffle_bytes;
+    tc.job_maps = js.nmaps;
+    tc.maps_by_node = &js.maps_by_node;
+    return tc;
+  };
+  auto pick_node = [&](const TaskRef& tr) -> Node* {
+    candidates.bind(tr);
+    std::size_t flat = placement_policy->pick(task_context(tr), candidates);
+    return flat == placement::kNoNode ? nullptr : &nodes[flat];
   };
 
   int tasks_left = static_cast<int>(pending.size());
@@ -797,11 +851,17 @@ struct ServiceJob {
   /// Map tasks by flat node id — shuffle source weights (same
   /// convention as the batch JobState).
   std::map<std::size_t, int> maps_by_node;
+  /// Total reduce-side fetch volume (sum of reduce net_bytes).
+  double shuffle_bytes = 0;
 };
 
-/// Ordered node indexes for one node type: the incremental dispatcher
-/// consults set fronts instead of scanning the rack, so a placement
-/// decision is O(log n) in rack size instead of O(n).
+/// Ordered node indexes for one (node type, fabric rack) group: the
+/// incremental dispatcher consults set fronts instead of scanning the
+/// rack, so a placement decision is O(log n) in rack size instead of
+/// O(n). Without a modeled fabric every node is in rack 0 and the
+/// groups degenerate to the historical per-type indexes, byte for
+/// byte; with one, each policy sees the best node of every type in
+/// EVERY rack — the granularity rack-local placement needs.
 ///
 /// `free_nodes` orders nodes with a free slot by their absolute device
 /// backlog (max of disk/nic free_at) — the part of the ETF estimate
@@ -812,6 +872,48 @@ struct ServiceJob {
 struct TypeIndex {
   std::set<std::pair<double, std::size_t>> free_nodes;
   std::set<std::pair<double, std::size_t>> busy_nodes;
+};
+
+/// Service-replay candidate source: the free and busy front of every
+/// (type, rack) group, groups in type-major order — for one rack per
+/// type this is exactly the historical "free front then busy front of
+/// each type in type order" scan the service timeline always ran.
+class IndexCandidateSource final : public placement::CandidateSource {
+ public:
+  IndexCandidateSource(const std::vector<Node>& nodes, const std::vector<TypeIndex>& index,
+                       std::vector<bool> is_big, std::vector<int> rack_of, EstFinishFn est_finish)
+      : nodes_(nodes),
+        index_(index),
+        is_big_(std::move(is_big)),
+        rack_(std::move(rack_of)),
+        est_(std::move(est_finish)) {}
+
+  void bind(const TaskRef& tr) { cur_ = &tr; }
+
+  const std::vector<placement::Candidate>& all() override {
+    scratch_.clear();
+    for (const TypeIndex& ix : index_) {
+      if (!ix.free_nodes.empty()) scratch_.push_back(make(ix.free_nodes.begin()->second));
+      if (!ix.busy_nodes.empty()) scratch_.push_back(make(ix.busy_nodes.begin()->second));
+    }
+    return scratch_;
+  }
+
+  placement::Candidate at(std::size_t flat) override { return make(flat); }
+
+ private:
+  placement::Candidate make(std::size_t i) {
+    const Node& n = nodes_[i];
+    return {i, is_big_[i], n.has_free_slot(), rack_[i], est_(*cur_, n)};
+  }
+
+  const std::vector<Node>& nodes_;
+  const std::vector<TypeIndex>& index_;
+  std::vector<bool> is_big_;
+  std::vector<int> rack_;
+  EstFinishFn est_;
+  const TaskRef* cur_ = nullptr;
+  std::vector<placement::Candidate> scratch_;
 };
 
 }  // namespace
@@ -904,15 +1006,16 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
     for (std::size_t t = 0; t < types.size(); ++t) {
       profiles.emplace(
           std::make_tuple(static_cast<int>(spec.workload), spec.input_size, static_cast<int>(t)),
-          ch.event_pricer(*types[t]).job_sim(trace, spec.freq,
-                                             task_slots_for(*types[t], opts.mix)));
+          ch.event_pricer(*types[t], opts.mix.fabric.nic_preset)
+              .job_sim(trace, spec.freq, task_slots_for(*types[t], opts.mix)));
       if (pr != nullptr) {
         for (int lvl = 0; lvl < types[t]->dvfs.levels(); ++lvl) {
           level_profiles.emplace(
               std::make_tuple(static_cast<int>(spec.workload), spec.input_size,
                               static_cast<int>(t), lvl),
-              ch.event_pricer(*types[t]).job_sim(trace, types[t]->dvfs.level_freq(lvl),
-                                                 task_slots_for(*types[t], opts.mix)));
+              ch.event_pricer(*types[t], opts.mix.fabric.nic_preset)
+                  .job_sim(trace, types[t]->dvfs.level_freq(lvl),
+                           task_slots_for(*types[t], opts.mix)));
         }
       }
     }
@@ -923,8 +1026,17 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
     }
   }
 
-  // ---- Incremental per-type node indexes ----
-  std::vector<TypeIndex> index(types.size());
+  // ---- Incremental per-(type, rack) node indexes ----
+  // Rack granularity only exists when a fabric is modeled; otherwise
+  // nracks_ix = 1 and the groups are the historical per-type indexes.
+  const std::vector<int> node_rack = rack_ids(nodes, fabric.get());
+  const std::size_t nracks_ix =
+      fabric != nullptr ? static_cast<std::size_t>(fabric->topology().racks()) : 1;
+  std::vector<TypeIndex> index(types.size() * nracks_ix);
+  auto group_of = [&](std::size_t flat) {
+    return static_cast<std::size_t>(nodes[flat].type_id) * nracks_ix +
+           static_cast<std::size_t>(node_rack[flat]);
+  };
   std::vector<std::pair<double, std::size_t>> node_key(nodes.size());
   std::vector<bool> node_in_free(nodes.size(), false);
   auto device_backlog = [&](const Node& n) {
@@ -932,7 +1044,7 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
   };
   auto index_insert = [&](std::size_t flat) {
     Node& n = nodes[flat];
-    TypeIndex& ix = index[static_cast<std::size_t>(n.type_id)];
+    TypeIndex& ix = index[group_of(flat)];
     if (n.has_free_slot()) {
       node_key[flat] = {device_backlog(n), flat};
       node_in_free[flat] = true;
@@ -944,7 +1056,7 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
     }
   };
   auto index_remove = [&](std::size_t flat) {
-    TypeIndex& ix = index[static_cast<std::size_t>(nodes[flat].type_id)];
+    TypeIndex& ix = index[group_of(flat)];
     if (node_in_free[flat]) {
       ix.free_nodes.erase(node_key[flat]);
     } else {
@@ -1012,67 +1124,41 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
   });
 
   // ---- Dispatch: fair-share order, incremental node selection ----
-  const std::string big = arch::xeon_e5_2420().name;
-  std::vector<bool> is_big_type(types.size(), false);
-  for (std::size_t t = 0; t < types.size(); ++t) is_big_type[t] = types[t]->name == big;
-
-  // ETF candidates come from the index fronts: the best free node of a
-  // type is the one with the least device backlog; the best full node
-  // is the one whose earliest task-end estimate is soonest.
-  auto consider_free = [&](std::size_t t, const TaskRef& tr, Node*& best, Seconds& best_est) {
-    const TypeIndex& ix = index[t];
-    if (ix.free_nodes.empty()) return;
-    Node& n = nodes[ix.free_nodes.begin()->second];
-    Seconds est = est_task_duration(task_for(tr, n.type_id), n, sim.now(), 0);
-    if (est < best_est) {
-      best_est = est;
-      best = &n;
-    }
-  };
-  auto consider_busy = [&](std::size_t t, const TaskRef& tr, Node*& best, Seconds& best_est) {
-    const TypeIndex& ix = index[t];
-    if (ix.busy_nodes.empty()) return;
-    Node& n = nodes[ix.busy_nodes.begin()->second];
+  // The pluggable placement layer: the ETF candidates the source
+  // enumerates are the index fronts — the best free node of a group
+  // is the one with the least device backlog, the best full node the
+  // one whose earliest task-end estimate is soonest — in type-major
+  // group order, the historical scan order. The policy then defers
+  // (kNoNode) or names a node; a full pick means "worth waiting for"
+  // and the driver leaves the task queued.
+  std::unique_ptr<placement::PlacementPolicy> placement_policy =
+      placement::make_placement_policy(opts.policy, fabric.get());
+  auto est_finish = [&](const TaskRef& tr, const Node& n) {
     Seconds delay = n.est_slot_delay(sim.now());
-    Seconds est = delay + est_task_duration(task_for(tr, n.type_id), n, sim.now(), delay);
-    if (est < best_est) {
-      best_est = est;
-      best = &n;
-    }
+    return delay + est_task_duration(task_for(tr, n.type_id), n, sim.now(), delay);
   };
-  // nullptr = defer: nothing suitable is free, or the ETF winner is a
-  // full node worth waiting for (a completion re-runs dispatch).
-  auto pick_node = [&](const TaskRef& tr) -> Node* {
-    if (opts.policy == MixPolicy::kRoundRobin) {
-      Node& n = nodes[tr.rr_node];
-      return n.has_free_slot() ? &n : nullptr;
-    }
+  IndexCandidateSource candidates(nodes, index, big_flags(nodes), node_rack, est_finish);
+  auto task_context = [&](const TaskRef& tr) {
     const ServiceJob& j = jobs[tr.job];
-    Node* best = nullptr;
-    Seconds best_est = std::numeric_limits<double>::infinity();
-    if (opts.policy == MixPolicy::kClassAware) {
-      // Same contract as simulate_mix: a free preferred-type slot
-      // always wins; otherwise weigh waiting for a preferred slot
-      // against spilling to the other type's free slot.
-      for (std::size_t t = 0; t < types.size(); ++t) {
-        if (is_big_type[t] == j.prefers_big) consider_free(t, tr, best, best_est);
-      }
-      if (best != nullptr) return best;
-      for (std::size_t t = 0; t < types.size(); ++t) {
-        if (is_big_type[t] == j.prefers_big) {
-          consider_free(t, tr, best, best_est);
-          consider_busy(t, tr, best, best_est);
-        } else {
-          consider_free(t, tr, best, best_est);
-        }
-      }
-    } else {
-      for (std::size_t t = 0; t < types.size(); ++t) {
-        consider_free(t, tr, best, best_est);
-        consider_busy(t, tr, best, best_est);
-      }
-    }
-    if (best != nullptr && !best->has_free_slot()) return nullptr;
+    placement::TaskContext tc;
+    tc.phase = tr.phase;
+    tc.prefers_big = j.prefers_big;
+    tc.rr_node = tr.rr_node;
+    tc.now = sim.now();
+    tc.net_bytes = task_for(tr, 0).net_bytes;
+    tc.job_shuffle_bytes = j.shuffle_bytes;
+    tc.job_maps = j.nmaps;
+    tc.maps_by_node = &j.maps_by_node;
+    return tc;
+  };
+  auto pick_node = [&](const TaskRef& tr) -> Node* {
+    candidates.bind(tr);
+    std::size_t flat = placement_policy->pick(task_context(tr), candidates);
+    if (flat == placement::kNoNode) return nullptr;
+    Node* best = &nodes[flat];
+    // The ETF winner may be a full node worth waiting for: defer (a
+    // completion re-runs dispatch).
+    if (!best->has_free_slot()) return nullptr;
     return best;
   };
 
@@ -1276,6 +1362,7 @@ ServiceResult simulate_service(Characterizer& ch, const std::vector<TenantWorklo
         }
       }
       j.nmaps = static_cast<int>(j.profile[0]->map_tasks.size());
+      for (const perf::SimTask& rt : j.profile[0]->reduce_tasks) j.shuffle_bytes += rt.net_bytes;
       j.slowstart_after =
           std::min(j.nmaps, static_cast<int>(std::ceil(opts.mix.reduce_slowstart *
                                                        static_cast<double>(j.nmaps))));

@@ -27,6 +27,7 @@
 
 #include "core/characterizer.hpp"
 #include "core/classifier.hpp"
+#include "core/placement/policy.hpp"
 #include "core/scheduler.hpp"
 #include "power/freq_plan.hpp"
 #include "power/governor.hpp"
@@ -160,23 +161,10 @@ struct MixResult {
   double edxp(int x) const;
 };
 
-/// Task-placement policies for the mix timeline.
-enum class MixPolicy {
-  /// Paper policy at task granularity: a task prefers a free slot on
-  /// its job's class-preferred type (C -> little, I -> big, per
-  /// schedule_by_class) and spills to the other type only when the
-  /// preferred side has no free slot — work-conserving, so pressure
-  /// splits a job across big and little nodes.
-  kClassAware,
-  /// Greedy: each task goes to the free slot whose estimated finish
-  /// (compute + device backlog) is soonest, class-blind.
-  kEarliestFinish,
-  /// Static striping of tasks over nodes regardless of load or class;
-  /// a task waits for "its" node even while others idle (baseline).
-  kRoundRobin,
-};
-
-std::string to_string(MixPolicy p);
+// MixPolicy (and its to_string / mix_policy_from_string round trip)
+// lives in core/placement/policy.hpp — placement is a pluggable
+// subsystem and both replays delegate the per-task decision to a
+// placement::PlacementPolicy built from the selected MixPolicy.
 
 /// Replays `jobs` (all submitted at t=0, task-dispatched in order) on
 /// the `rack` under `policy`. Per-task demands and nominal energies

@@ -7,6 +7,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/network/fabric.hpp"
+#include "sim/network/nic_preset.hpp"
 #include "sim/resource.hpp"
 #include "util/error.hpp"
 
@@ -113,7 +114,8 @@ EventPricer::DerivedPhase EventPricer::derive_phase(const PhaseCost& pc, Hertz f
                 static_cast<double>(d.ntasks) * master;
   d.io_total = storage_.transfer_time(static_cast<Bytes>(d.device_bytes),
                                       static_cast<std::uint64_t>(seeks));
-  d.net_total = net_bytes / (cluster_.net_mbps * 1e6 * server_.network_efficiency);
+  d.net_total = net_bytes / sim::nic_preset(opts_.fabric.nic_preset)
+                                .endpoint_bytes_per_s(cluster_.net_mbps, server_.network_efficiency);
 
   // Per-task demands. The shared disk is nonlinear in total volume
   // (burst vs. sustained), so each task gets a share of the phase
@@ -127,7 +129,8 @@ EventPricer::DerivedPhase EventPricer::derive_phase(const PhaseCost& pc, Hertz f
                                             static_cast<std::uint64_t>(t.seeks));
     disk_weight_sum += disk_weight[i];
   }
-  double nic_rate = cluster_.net_mbps * 1e6 * server_.network_efficiency;
+  double nic_rate = sim::nic_preset(opts_.fabric.nic_preset)
+                        .endpoint_bytes_per_s(cluster_.net_mbps, server_.network_efficiency);
   d.tasks.reserve(pc.tasks.size());
   for (std::size_t i = 0; i < pc.tasks.size(); ++i) {
     const TaskCost& t = pc.tasks[i];
@@ -259,7 +262,8 @@ JobSim EventPricer::job_sim(const mr::JobTrace& trace, Hertz freq, int slots) co
   if (opts_.fabric.modeled) {
     sim::Topology topo = opts_.fabric.topology;
     if (topo.rack_of.empty()) topo = sim::Topology::single_rack(1);
-    double nic_rate = cluster_.net_mbps * 1e6 * server_.network_efficiency;
+    double nic_rate = sim::nic_preset(opts_.fabric.nic_preset)
+                          .endpoint_bytes_per_s(cluster_.net_mbps, server_.network_efficiency);
     fabric = std::make_unique<sim::Fabric>(
         sim, topo, std::vector<double>(topo.rack_of.size(), nic_rate));
     router = std::make_unique<sim::FlowRouter>(*fabric);
@@ -440,7 +444,8 @@ JobSim EventPricer::job_sim(const mr::JobTrace& trace, const power::FreqPlan& pl
   if (opts_.fabric.modeled) {
     sim::Topology topo = opts_.fabric.topology;
     if (topo.rack_of.empty()) topo = sim::Topology::single_rack(1);
-    double nic_rate = cluster_.net_mbps * 1e6 * server_.network_efficiency;
+    double nic_rate = sim::nic_preset(opts_.fabric.nic_preset)
+                          .endpoint_bytes_per_s(cluster_.net_mbps, server_.network_efficiency);
     fabric = std::make_unique<sim::Fabric>(
         sim, topo, std::vector<double>(topo.rack_of.size(), nic_rate));
     router = std::make_unique<sim::FlowRouter>(*fabric);

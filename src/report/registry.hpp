@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,12 @@ namespace bvl::report {
 /// for the engine run once per process, not once per figure.
 struct Context {
   core::Characterizer& ch;
+  /// Driver-level placement override (`bvl_repro --policy NAME`).
+  /// Fabric-aware figure groups replace their default mix policy with
+  /// it and stamp the override into the report notes; figures without
+  /// a policy axis ignore it. Absent by default so every golden built
+  /// without the flag is untouched.
+  std::optional<core::MixPolicy> policy;
 };
 
 struct FigureDef {

@@ -36,8 +36,38 @@ Fabric::Fabric(Simulation& sim, Topology topo, std::vector<double> nic_bytes_per
   }
   if (nracks > 1 && topo_.spine_oversub > 0) {
     spine_rate_ = total_rate / topo_.spine_oversub;
-    spine_ = std::make_unique<ServiceQueue>(sim_);
+    // ECMP: the spine's capacity is split evenly across k parallel
+    // links; each rack-crossing flow is pinned to one by the flow
+    // hash. k = 1 (division by 1.0 is exact) is the historical
+    // single-path spine, bit for bit.
+    const int k = topo_.spine_multipath;
+    spine_link_rate_ = spine_rate_ / static_cast<double>(k);
+    for (int link = 0; link < k; ++link) spine_.push_back(std::make_unique<ServiceQueue>(sim_));
+    spine_link_bytes_.assign(static_cast<std::size_t>(k), 0.0);
   }
+}
+
+Seconds Fabric::earliest_spine_free_at() const {
+  if (spine_.empty()) return sim_.now();
+  Seconds earliest = spine_.front()->free_at();
+  for (std::size_t link = 1; link < spine_.size(); ++link) {
+    earliest = std::min(earliest, spine_[link]->free_at());
+  }
+  return earliest;
+}
+
+int Fabric::spine_link_of(int src, int dst, std::uint64_t seq, int links) {
+  // SplitMix64 finalizer over a (src, dst, seq) packing: consecutive
+  // flows of one (src, dst) pair spray across links deterministically,
+  // so a rerun (or a different exec_threads) routes every flow the
+  // same way — the replay timeline is single-threaded.
+  std::uint64_t x = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 42) ^
+                    (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 21) ^ seq;
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<int>(x % static_cast<std::uint64_t>(links));
 }
 
 namespace {
@@ -71,7 +101,14 @@ void Fabric::send(int src, int dst, double bytes, std::function<void()> on_deliv
     hops[nhops++] = {tor_[static_cast<std::size_t>(src_rack)].get(),
                      tor_rate_[static_cast<std::size_t>(src_rack)]};
     if (src_rack != dst_rack) {
-      if (spine_ != nullptr) hops[nhops++] = {spine_.get(), spine_rate_};
+      if (!spine_.empty()) {
+        const std::uint64_t pair =
+            static_cast<std::uint64_t>(src) * static_cast<std::uint64_t>(topo_.nodes()) +
+            static_cast<std::uint64_t>(dst);
+        const int link = spine_link_of(src, dst, pair_seq_[pair]++, spine_links());
+        spine_link_bytes_[static_cast<std::size_t>(link)] += bytes;
+        hops[nhops++] = {spine_[static_cast<std::size_t>(link)].get(), spine_link_rate_};
+      }
       hops[nhops++] = {tor_[static_cast<std::size_t>(dst_rack)].get(),
                        tor_rate_[static_cast<std::size_t>(dst_rack)]};
     }
@@ -127,7 +164,9 @@ Seconds Fabric::ideal_flow_s(int src, int dst, double bytes) const {
       min_rate = std::min(min_rate, tor_rate_[static_cast<std::size_t>(sr)]);
     }
     if (sr != dr) {
-      if (spine_rate_ > 0) min_rate = std::min(min_rate, spine_rate_);
+      // A flow rides exactly one ECMP link, so the idle-fabric floor
+      // sees the per-link rate (== spine_rate_ when single-path).
+      if (spine_link_rate_ > 0) min_rate = std::min(min_rate, spine_link_rate_);
       if (tor_rate_[static_cast<std::size_t>(dr)] > 0) {
         min_rate = std::min(min_rate, tor_rate_[static_cast<std::size_t>(dr)]);
       }
@@ -138,7 +177,9 @@ Seconds Fabric::ideal_flow_s(int src, int dst, double bytes) const {
 
 FabricStats Fabric::stats() const {
   FabricStats s = stats_;
-  if (spine_ != nullptr) s.spine_busy_s = spine_->busy_s();
+  s.spine_links = spine_links();
+  s.spine_link_bytes = spine_link_bytes_;
+  for (const auto& link : spine_) s.spine_busy_s += link->busy_s();
   return s;
 }
 

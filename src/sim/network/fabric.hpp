@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -48,8 +49,12 @@ struct FabricStats {
   double local_bytes = 0;       ///< src == dst (never left the node)
   double intra_rack_bytes = 0;  ///< crossed the ToR, not the spine
   double cross_rack_bytes = 0;  ///< traversed the spine
-  Seconds spine_busy_s = 0;
+  Seconds spine_busy_s = 0;     ///< summed over every ECMP spine link
   double spine_utilization = 0;
+  int spine_links = 0;          ///< ECMP width (0: no spine was modeled)
+  /// Bytes each ECMP spine link carried — the per-link half of the
+  /// conservation ledger: these sum to cross_rack_bytes.
+  std::vector<double> spine_link_bytes;
 };
 
 class Fabric {
@@ -70,17 +75,38 @@ class Fabric {
   Seconds ideal_flow_s(int src, int dst, double bytes) const;
 
   const Topology& topology() const { return topo_; }
+  int rack_of(int node) const { return topo_.rack_of[static_cast<std::size_t>(node)]; }
   double nic_rate(int node) const { return nic_rate_[static_cast<std::size_t>(node)]; }
-  /// Spine capacity in bytes/s; 0 when the spine is non-blocking or
-  /// the topology has a single rack.
+  /// ToR fabric capacity of one rack in bytes/s; 0 = non-blocking.
+  double tor_rate(int rack) const { return tor_rate_[static_cast<std::size_t>(rack)]; }
+  /// Total spine capacity in bytes/s (all ECMP links together); 0
+  /// when the spine is non-blocking or the topology has a single rack.
   double spine_rate() const { return spine_rate_; }
+  /// Capacity of one ECMP spine link: spine_rate / spine_multipath.
+  double spine_link_rate() const { return spine_link_rate_; }
 
   ServiceQueue& ingress(int node) { return *ingress_[static_cast<std::size_t>(node)]; }
   const ServiceQueue& ingress(int node) const { return *ingress_[static_cast<std::size_t>(node)]; }
   ServiceQueue& egress(int node) { return *egress_[static_cast<std::size_t>(node)]; }
   ServiceQueue& tor(int rack) { return *tor_[static_cast<std::size_t>(rack)]; }
-  bool has_spine() const { return spine_ != nullptr; }
-  ServiceQueue& spine() { return *spine_; }
+  bool has_spine() const { return !spine_.empty(); }
+  int spine_links() const { return static_cast<int>(spine_.size()); }
+  /// The first ECMP link — THE spine under the historical single-path
+  /// (spine_multipath = 1) configuration the differential suite pins.
+  ServiceQueue& spine() { return *spine_.front(); }
+  ServiceQueue& spine_link(int link) { return *spine_[static_cast<std::size_t>(link)]; }
+  const ServiceQueue& spine_link(int link) const {
+    return *spine_[static_cast<std::size_t>(link)];
+  }
+  /// Soonest time any ECMP spine link frees up — the live-backlog
+  /// signal locality-aware placement reads (now when no spine).
+  Seconds earliest_spine_free_at() const;
+
+  /// Deterministic ECMP link choice: a SplitMix64-finalized hash of
+  /// (src, dst, per-pair flow sequence number) mod `links`. Pure and
+  /// static so the differential reference and the fabric route flows
+  /// with one function; with links = 1 it is always 0.
+  static int spine_link_of(int src, int dst, std::uint64_t seq, int links);
 
   /// Conservation ledger; spine_busy_s is folded in, spine_utilization
   /// stays 0 (the caller owns the window).
@@ -92,10 +118,17 @@ class Fabric {
   std::vector<double> nic_rate_;
   std::vector<double> tor_rate_;   ///< per rack; 0 = non-blocking
   double spine_rate_ = 0;          ///< 0 = non-blocking / single rack
+  double spine_link_rate_ = 0;     ///< spine_rate_ / spine_multipath
   std::vector<std::unique_ptr<ServiceQueue>> egress_;
   std::vector<std::unique_ptr<ServiceQueue>> ingress_;
   std::vector<std::unique_ptr<ServiceQueue>> tor_;
-  std::unique_ptr<ServiceQueue> spine_;
+  /// ECMP spine links (empty = no spine modeled); size is the
+  /// topology's spine_multipath.
+  std::vector<std::unique_ptr<ServiceQueue>> spine_;
+  std::vector<double> spine_link_bytes_;  ///< per-link ledger
+  /// Per-(src, dst) flow sequence counters feeding the ECMP hash —
+  /// keyed src * nodes + dst, grown on demand.
+  std::unordered_map<std::uint64_t, std::uint64_t> pair_seq_;
   FabricStats stats_;
 };
 

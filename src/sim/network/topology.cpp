@@ -16,7 +16,11 @@ void Topology::validate() const {
   require(!rack_of.empty(), "Topology: no nodes");
   require(tor_oversub >= 0, "Topology: negative tor_oversub");
   require(spine_oversub >= 0, "Topology: negative spine_oversub");
+  require(spine_multipath >= 1, "Topology: spine_multipath must be >= 1");
   const int nracks = racks();
+  require(spine_multipath == 1 || (nracks > 1 && spine_oversub > 0),
+          "Topology: spine_multipath > 1 needs a modeled spine "
+          "(more than one rack, spine_oversub > 0)");
   std::vector<bool> seen(static_cast<std::size_t>(nracks), false);
   for (int r : rack_of) {
     require(r >= 0, "Topology: negative rack id");

@@ -21,6 +21,8 @@
 
 #include <vector>
 
+#include "sim/network/nic_preset.hpp"
+
 namespace bvl::sim {
 
 struct Topology {
@@ -32,6 +34,14 @@ struct Topology {
   double tor_oversub = 1.0;
   /// ToR-aggregate : spine capacity ratio (>= 0; 0 = non-blocking).
   double spine_oversub = 1.0;
+  /// ECMP-style spine multipath: the spine's capacity is split across
+  /// this many parallel links and each rack-crossing flow is pinned to
+  /// one of them by a deterministic flow hash. 1 (the default) is the
+  /// historical single-path spine, bit for bit. Values > 1 require a
+  /// modeled spine (more than one rack, spine_oversub > 0) — a
+  /// multipath non-blocking layer is a contradiction validate()
+  /// rejects rather than silently ignores.
+  int spine_multipath = 1;
 
   int nodes() const { return static_cast<int>(rack_of.size()); }
   int racks() const;
@@ -57,6 +67,14 @@ struct FabricOptions {
   /// Used when modeled. An empty rack_of means "one rack spanning all
   /// nodes of the attached rack" (no spine, ToR at tor_oversub).
   Topology topology;
+  /// Endpoint NIC generation (sim/network/nic_preset.hpp). The
+  /// default k1GbE reproduces the historical per-node rate expression
+  /// bit for bit; 10/40 GbE raise the endpoint line rate with
+  /// per-server-class achievable fractions. Consulted by every layer
+  /// that derives NIC rates from a ClusterConfig (EventPricer,
+  /// simulate_mix, simulate_service) whether or not `modeled` links
+  /// are replayed.
+  NicPresetId nic_preset = NicPresetId::k1GbE;
 };
 
 }  // namespace bvl::sim

@@ -40,11 +40,11 @@ std::string read_golden(const std::string& group) {
   return out.str();
 }
 
-TEST(FigureRegistry, EnumeratesAllTwentyTwoFigures) {
+TEST(FigureRegistry, EnumeratesAllTwentyThreeFigures) {
   std::vector<std::string> want{"fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
                                 "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
                                 "fig15", "fig16", "fig17", "table3", "ablate", "service",
-                                "fabric", "powercap"};
+                                "fabric", "fabric_crossover", "powercap"};
   ASSERT_EQ(registry().figures().size(), want.size());
   for (std::size_t i = 0; i < want.size(); ++i) {
     EXPECT_EQ(registry().figures()[i].id, want[i]);
@@ -54,7 +54,8 @@ TEST(FigureRegistry, EnumeratesAllTwentyTwoFigures) {
   }
   std::vector<std::string> groups{"fig01", "fig02", "fig03", "fig04", "fig0506", "fig0708",
                                   "fig09", "fig1011", "fig1213", "fig14", "fig15", "fig16",
-                                  "fig17", "table3", "ablate", "service", "fabric", "powercap"};
+                                  "fig17", "table3", "ablate", "service", "fabric",
+                                  "fabric_crossover", "powercap"};
   EXPECT_EQ(registry().groups(), groups);
   // Paired ids resolve to their shared group report.
   EXPECT_EQ(registry().find("fig05")->group, "fig0506");

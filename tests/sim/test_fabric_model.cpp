@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "arch/server_config.hpp"
@@ -32,6 +33,13 @@
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "workloads/registry.hpp"
+
+// Tier-1 runs the multipath stress differential at a quick scale; the
+// slow tier recompiles this file at BVL_FABRIC_FLOWS=1000000 (see
+// tests/CMakeLists.txt) so the ECMP ledger is exercised at fleet scale.
+#ifndef BVL_FABRIC_FLOWS
+#define BVL_FABRIC_FLOWS 20000
+#endif
 
 namespace bvl::sim {
 namespace {
@@ -64,8 +72,14 @@ struct RefFabric {
   std::vector<double> nic;
   std::vector<double> tor_rate;
   double spine_rate = 0;
+  double spine_link_rate = 0;
   std::vector<RefLink> egress, ingress, tor;
-  RefLink spine;
+  // ECMP spine: k parallel links at spine_rate/k each. Flows pick a
+  // link by the same published hash the fabric uses, keyed on the
+  // (src, dst) pair's running flow count.
+  std::vector<RefLink> spine;
+  std::vector<double> spine_bytes;
+  std::map<std::pair<int, int>, std::uint64_t> pair_seq;
 
   RefFabric(Topology t, std::vector<double> rates) : topo(std::move(t)), nic(std::move(rates)) {
     const int nracks = topo.racks();
@@ -81,6 +95,9 @@ struct RefFabric {
           topo.tor_oversub > 0 ? tor_rate[static_cast<std::size_t>(r)] / topo.tor_oversub : 0;
     }
     if (nracks > 1 && topo.spine_oversub > 0) spine_rate = total / topo.spine_oversub;
+    spine_link_rate = spine_rate / static_cast<double>(topo.spine_multipath);
+    spine.resize(static_cast<std::size_t>(topo.spine_multipath));
+    spine_bytes.assign(static_cast<std::size_t>(topo.spine_multipath), 0.0);
     egress.resize(static_cast<std::size_t>(topo.nodes()));
     ingress.resize(static_cast<std::size_t>(topo.nodes()));
     tor.resize(static_cast<std::size_t>(nracks));
@@ -98,7 +115,12 @@ struct RefFabric {
       hop(egress[static_cast<std::size_t>(src)], nic[static_cast<std::size_t>(src)]);
       hop(tor[static_cast<std::size_t>(sr)], tor_rate[static_cast<std::size_t>(sr)]);
       if (sr != dr) {
-        if (spine_rate > 0) hop(spine, spine_rate);
+        if (spine_rate > 0) {
+          int link = Fabric::spine_link_of(src, dst, pair_seq[{src, dst}]++,
+                                           static_cast<int>(spine.size()));
+          spine_bytes[static_cast<std::size_t>(link)] += bytes;
+          hop(spine[static_cast<std::size_t>(link)], spine_link_rate);
+        }
         hop(tor[static_cast<std::size_t>(dr)], tor_rate[static_cast<std::size_t>(dr)]);
       }
     }
@@ -120,6 +142,10 @@ Topology random_topology(Pcg32& rng) {
   int per_rack = static_cast<int>(rng.uniform(1, 4));
   Topology topo = Topology::uniform(racks, per_rack,
                                     oversubs[rng.uniform(0, 4)], oversubs[rng.uniform(0, 4)]);
+  // Half the modeled-spine configs run an ECMP spine of 2-4 links.
+  if (topo.racks() > 1 && topo.spine_oversub > 0 && rng.chance(0.5)) {
+    topo.spine_multipath = static_cast<int>(rng.uniform(2, 4));
+  }
   return topo;
 }
 
@@ -190,7 +216,24 @@ TEST(FabricModel, RandomizedDifferentialAgainstScalarReference) {
     for (int r = 0; r < topo.racks(); ++r) {
       check_link(fabric.tor(r), ref.tor[static_cast<std::size_t>(r)], "tor");
     }
-    if (fabric.has_spine()) check_link(fabric.spine(), ref.spine, "spine");
+    if (fabric.has_spine()) {
+      ASSERT_EQ(fabric.spine_links(), static_cast<int>(ref.spine.size())) << "cfg " << cfg;
+      ASSERT_EQ(st.spine_links, fabric.spine_links()) << "cfg " << cfg;
+      double routed = 0;
+      for (int l = 0; l < fabric.spine_links(); ++l) {
+        check_link(fabric.spine_link(l), ref.spine[static_cast<std::size_t>(l)], "spine link");
+        // The per-link byte ledger matches the reference's hash-led
+        // routing exactly, link by link.
+        EXPECT_EQ(st.spine_link_bytes[static_cast<std::size_t>(l)],
+                  ref.spine_bytes[static_cast<std::size_t>(l)])
+            << "cfg " << cfg << " spine link " << l;
+        routed += st.spine_link_bytes[static_cast<std::size_t>(l)];
+      }
+      // Conservation across the ECMP group: what the links carried is
+      // exactly the cross-rack traffic.
+      EXPECT_NEAR(routed, st.cross_rack_bytes, 1e-9 * std::max(1.0, st.cross_rack_bytes))
+          << "cfg " << cfg;
+    }
   }
 }
 
@@ -226,7 +269,8 @@ TEST(FabricModel, UncontendedFlowMatchesBottleneckClosedForm) {
       hop(ref.nic[static_cast<std::size_t>(src)]);
       hop(ref.tor_rate[static_cast<std::size_t>(sr)]);
       if (sr != dr) {
-        hop(ref.spine_rate);
+        // A single flow rides exactly one ECMP link: spine_rate/k.
+        hop(ref.spine_rate > 0 ? ref.spine_link_rate : 0.0);
         hop(ref.tor_rate[static_cast<std::size_t>(dr)]);
       }
     }
@@ -248,10 +292,257 @@ TEST(FabricModel, ValidationRejectsMalformedInput) {
   neg.spine_oversub = -1;
   EXPECT_THROW(neg.validate(), Error);
 
+  // Multipath knob: k = 0 is meaningless, and k > 1 needs a spine the
+  // model actually replays (more than one rack AND finite oversub).
+  Topology zerok = Topology::uniform(2, 2);
+  zerok.spine_multipath = 0;
+  EXPECT_THROW(zerok.validate(), Error);
+  Topology single_rack = Topology::uniform(1, 4);
+  single_rack.spine_multipath = 2;
+  EXPECT_THROW(single_rack.validate(), Error);
+  Topology nonblocking = Topology::uniform(2, 2, /*spine_oversub=*/0.0);
+  nonblocking.spine_multipath = 2;
+  EXPECT_THROW(nonblocking.validate(), Error);
+
   Fabric fabric(sim, topo, {1e6, 1e6, 1e6, 1e6});
   EXPECT_THROW(fabric.send(-1, 0, 1.0, [] {}), Error);
   EXPECT_THROW(fabric.send(0, 4, 1.0, [] {}), Error);
   EXPECT_THROW(fabric.send(0, 1, -1.0, [] {}), Error);
+}
+
+TEST(NicPreset, IdentityAndCalibrationContract) {
+  // The 1GbE preset IS the historical expression, bit for bit — this
+  // equality is what keeps every pre-preset golden byte-identical.
+  const NicPreset& base = nic_preset(NicPresetId::k1GbE);
+  EXPECT_EQ(base.endpoint_bytes_per_s(117.0, 0.7), 117.0 * 1e6 * 0.7);
+  EXPECT_EQ(base.endpoint_bytes_per_s(117.0, 1.0), 117.0 * 1e6 * 1.0);
+
+  // Faster presets: absolute rates grow with the line speed at both
+  // class anchors, while the little class's achievable FRACTION of
+  // line rate falls — the wimpy-node inversion the presets calibrate.
+  double big1 = base.endpoint_bytes_per_s(117.0, 1.0);
+  double lit1 = base.endpoint_bytes_per_s(117.0, 0.7);
+  double prev_lit_frac = lit1 / (117.0 * 1e6);
+  for (NicPresetId id : {NicPresetId::k10GbE, NicPresetId::k40GbE}) {
+    const NicPreset& p = nic_preset(id);
+    p.validate();
+    double big = p.endpoint_bytes_per_s(117.0, 1.0);
+    double lit = p.endpoint_bytes_per_s(117.0, 0.7);
+    EXPECT_GT(big, big1) << p.name;
+    EXPECT_GT(lit, lit1) << p.name;
+    double lit_frac = lit / (117.0 * p.line_multiple * 1e6);
+    EXPECT_LT(lit_frac, prev_lit_frac) << p.name;
+    prev_lit_frac = lit_frac;
+    // Blending is monotone in the server's 1GbE efficiency and
+    // clamped at the anchors.
+    EXPECT_LE(p.endpoint_bytes_per_s(117.0, 0.7), p.endpoint_bytes_per_s(117.0, 0.85));
+    EXPECT_LE(p.endpoint_bytes_per_s(117.0, 0.85), p.endpoint_bytes_per_s(117.0, 1.0));
+    EXPECT_EQ(p.endpoint_bytes_per_s(117.0, 0.5), p.endpoint_bytes_per_s(117.0, 0.7));
+    EXPECT_EQ(p.endpoint_bytes_per_s(117.0, 1.2), p.endpoint_bytes_per_s(117.0, 1.0));
+  }
+
+  // Throw contract: bad endpoints and unknown ids are rejected.
+  EXPECT_THROW(base.endpoint_bytes_per_s(0.0, 0.7), Error);
+  EXPECT_THROW(base.endpoint_bytes_per_s(-1.0, 0.7), Error);
+  EXPECT_THROW(base.endpoint_bytes_per_s(117.0, 0.0), Error);
+  EXPECT_THROW(nic_preset(static_cast<NicPresetId>(99)), Error);
+  NicPreset bad = base;
+  bad.little_eff = 0.0;
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(FabricModel, SpineLinkHashIsDeterministicInRangeAndSpreads) {
+  // Same (src, dst, seq, k) always lands on the same link, in range.
+  for (int k : {1, 2, 3, 4, 7}) {
+    std::vector<int> hits(static_cast<std::size_t>(k), 0);
+    for (int src = 0; src < 6; ++src) {
+      for (int dst = 0; dst < 6; ++dst) {
+        for (std::uint64_t seq = 0; seq < 32; ++seq) {
+          int l = Fabric::spine_link_of(src, dst, seq, k);
+          ASSERT_GE(l, 0);
+          ASSERT_LT(l, k);
+          EXPECT_EQ(l, Fabric::spine_link_of(src, dst, seq, k));
+          ++hits[static_cast<std::size_t>(l)];
+        }
+      }
+    }
+    // k = 1 degenerates to THE spine; k > 1 uses every link.
+    for (int l = 0; l < k; ++l) EXPECT_GT(hits[static_cast<std::size_t>(l)], 0) << "k " << k;
+  }
+  // Successive flows of ONE pair stripe across links too (per-pair
+  // sequence numbers feed the hash), so a single hot pair cannot pin
+  // one link while the others idle.
+  std::vector<int> pair_hits(4, 0);
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    ++pair_hits[static_cast<std::size_t>(Fabric::spine_link_of(2, 5, seq, 4))];
+  }
+  for (int l = 0; l < 4; ++l) EXPECT_GT(pair_hits[static_cast<std::size_t>(l)], 0);
+}
+
+TEST(FabricModel, SinglePathSpineIsBitwiseUnchangedByMultipathMachinery) {
+  // k = 1 must be invisible: spine_rate/1.0 is exact and every hash
+  // resolves to link 0, so delivered times equal a plain pre-multipath
+  // scalar replay with ONE spine link and no hash in the path.
+  Pcg32 rng(11, 0x51);
+  Topology topo = Topology::uniform(2, 2, /*spine_oversub=*/4.0, /*tor_oversub=*/2.0);
+  ASSERT_EQ(topo.spine_multipath, 1);
+  std::vector<double> rates{1e7, 2e7, 3e7, 4e7};
+
+  Simulation sim;
+  Fabric fabric(sim, topo, rates);
+  ASSERT_EQ(fabric.spine_links(), 1);
+  EXPECT_EQ(fabric.spine_link_rate(), fabric.spine_rate());
+
+  RefFabric shape(topo, rates);  // rate derivation only
+  RefLink egress[4], ingress[4], tor[2], spine;
+  std::vector<FlowSpec> flows(300);
+  Seconds t = 0;
+  for (auto& f : flows) {
+    t += rng.exponential(40.0);
+    f.at = t;
+    f.src = static_cast<int>(rng.uniform(0, 3));
+    f.dst = static_cast<int>(rng.uniform(0, 3));
+    f.bytes = rng.uniform_real(1.0, 5e8);
+  }
+  std::vector<Seconds> delivered(flows.size(), -1);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const FlowSpec& f = flows[i];
+    sim.at(f.at, [&fabric, &delivered, &sim, f, i] {
+      fabric.send(f.src, f.dst, f.bytes, [&delivered, &sim, i] { delivered[i] = sim.now(); });
+    });
+  }
+  sim.run();
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const FlowSpec& f = flows[i];
+    Seconds done = f.at;
+    auto hop = [&](RefLink& l, double rate) {
+      if (rate > 0) done = std::max(done, l.claim(f.at, f.bytes / rate));
+    };
+    const int sr = topo.rack_of[static_cast<std::size_t>(f.src)];
+    const int dr = topo.rack_of[static_cast<std::size_t>(f.dst)];
+    if (f.src != f.dst) {
+      hop(egress[f.src], shape.nic[static_cast<std::size_t>(f.src)]);
+      hop(tor[sr], shape.tor_rate[static_cast<std::size_t>(sr)]);
+      if (sr != dr) {
+        hop(spine, shape.spine_rate);  // the historical single path
+        hop(tor[dr], shape.tor_rate[static_cast<std::size_t>(dr)]);
+      }
+    }
+    hop(ingress[f.dst], shape.nic[static_cast<std::size_t>(f.dst)]);
+    EXPECT_EQ(delivered[i], done) << "flow " << i;
+  }
+  EXPECT_EQ(fabric.spine_link(0).busy_s(), spine.busy);
+  EXPECT_EQ(fabric.spine_link(0).requests(), spine.requests);
+}
+
+TEST(FabricModel, MultipathLedgerConservesAndRerunsAreBitIdentical) {
+  // Explicit k = 4 ECMP spine under bursty load: the per-link byte
+  // ledger sums to the cross-rack traffic, the spine busy integral is
+  // the sum over links, every link carries traffic, and an identical
+  // rerun reproduces every delivered timestamp and ledger row bitwise.
+  Topology topo = Topology::uniform(2, 3, /*spine_oversub=*/8.0, /*tor_oversub=*/2.0);
+  topo.spine_multipath = 4;
+  topo.validate();
+  std::vector<double> rates{1e7, 2e7, 3e7, 1.5e7, 2.5e7, 3.5e7};
+
+  Pcg32 gen(77, 0xec);
+  std::vector<FlowSpec> flows(800);
+  Seconds t = 0;
+  for (auto& f : flows) {
+    t += gen.exponential(60.0);
+    f.at = t;
+    f.src = static_cast<int>(gen.uniform(0, 5));
+    f.dst = static_cast<int>(gen.uniform(0, 5));
+    f.bytes = gen.uniform_real(1.0, 4e8);
+  }
+
+  auto replay = [&](std::vector<Seconds>& delivered) {
+    Simulation sim;
+    Fabric fabric(sim, topo, rates);
+    delivered.assign(flows.size(), -1);
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const FlowSpec& f = flows[i];
+      sim.at(f.at, [&fabric, &delivered, &sim, f, i] {
+        fabric.send(f.src, f.dst, f.bytes, [&delivered, &sim, i] { delivered[i] = sim.now(); });
+      });
+    }
+    sim.run();
+    return fabric.stats();
+  };
+
+  std::vector<Seconds> first, second;
+  FabricStats a = replay(first);
+  FabricStats b = replay(second);
+
+  ASSERT_EQ(a.spine_links, 4);
+  ASSERT_EQ(a.spine_link_bytes.size(), 4u);
+  double routed = 0;
+  for (int l = 0; l < 4; ++l) {
+    EXPECT_GT(a.spine_link_bytes[static_cast<std::size_t>(l)], 0.0) << "link " << l;
+    routed += a.spine_link_bytes[static_cast<std::size_t>(l)];
+  }
+  EXPECT_NEAR(routed, a.cross_rack_bytes, 1e-9 * std::max(1.0, a.cross_rack_bytes));
+  EXPECT_NEAR(a.bytes_injected, a.bytes_delivered, 1e-9 * std::max(1.0, a.bytes_injected));
+
+  // Bitwise rerun stability: the hash and per-pair sequences are pure
+  // state, no global RNG or address-dependent ordering leaks in.
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(a.spine_link_bytes, b.spine_link_bytes);
+  EXPECT_EQ(a.spine_busy_s, b.spine_busy_s);
+  EXPECT_EQ(a.cross_rack_bytes, b.cross_rack_bytes);
+}
+
+TEST(FabricModel, MultipathStressDifferentialAtScale) {
+  // The 1M-flow (slow tier) ECMP differential: a 2x2 fabric with a
+  // 4-link 2:1 spine replayed flow-for-flow against the scalar
+  // reference, then the full conservation ledger at scale.
+  const int kFlows = BVL_FABRIC_FLOWS;
+  Topology topo = Topology::uniform(2, 2, /*spine_oversub=*/2.0, /*tor_oversub=*/0.0);
+  topo.spine_multipath = 4;
+  topo.validate();
+  std::vector<double> rates{2e8, 1e8, 1.5e8, 2.5e8};
+
+  Pcg32 gen(5, 0x1a);
+  Simulation sim;
+  Fabric fabric(sim, topo, rates);
+  RefFabric ref(topo, rates);
+  double injected = 0;
+  std::vector<Seconds> delivered(static_cast<std::size_t>(kFlows), -1);
+  std::vector<Seconds> expected(static_cast<std::size_t>(kFlows), -1);
+  Seconds t = 0;
+  for (int i = 0; i < kFlows; ++i) {
+    t += gen.exponential(2000.0);
+    int src = static_cast<int>(gen.uniform(0, 3));
+    int dst = static_cast<int>(gen.uniform(0, 3));
+    double bytes = gen.uniform_real(1.0, 2e6);
+    injected += bytes;
+    expected[static_cast<std::size_t>(i)] = ref.send(t, src, dst, bytes);
+    sim.at(t, [&fabric, &delivered, &sim, src, dst, bytes, i] {
+      fabric.send(src, dst, bytes,
+                  [&delivered, &sim, i] { delivered[static_cast<std::size_t>(i)] = sim.now(); });
+    });
+  }
+  sim.run();
+
+  // Exact per-flow agreement (same operands, same order) and the
+  // conservation laws at whatever scale this tier compiled in.
+  EXPECT_EQ(delivered, expected);
+  FabricStats st = fabric.stats();
+  EXPECT_EQ(st.flows, static_cast<std::uint64_t>(kFlows));
+  EXPECT_NEAR(st.bytes_injected, st.bytes_delivered, 1e-9 * std::max(1.0, injected));
+  EXPECT_NEAR(st.bytes_injected, injected, 1e-9 * std::max(1.0, injected));
+  double routed = 0, busy = 0;
+  ASSERT_EQ(st.spine_links, 4);
+  for (int l = 0; l < st.spine_links; ++l) {
+    EXPECT_EQ(st.spine_link_bytes[static_cast<std::size_t>(l)],
+              ref.spine_bytes[static_cast<std::size_t>(l)])
+        << "link " << l;
+    EXPECT_EQ(fabric.spine_link(l).busy_s(), ref.spine[static_cast<std::size_t>(l)].busy);
+    routed += st.spine_link_bytes[static_cast<std::size_t>(l)];
+    busy += fabric.spine_link(l).busy_s();
+  }
+  EXPECT_NEAR(routed, st.cross_rack_bytes, 1e-9 * std::max(1.0, st.cross_rack_bytes));
+  EXPECT_EQ(st.spine_busy_s, busy);
 }
 
 TEST(FlowRouter, ShuffleDecomposesProportionallyAndConserves) {
